@@ -1,0 +1,42 @@
+//! Criterion benchmarks for single figure *cells* — one (U, H,
+//! scheduler) point of each figure — so regressions in the
+//! figure-regeneration cost are caught without running full sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nc_bench::{flows_for_utilization, tandem, EPSILON};
+use nc_core::PathScheduler;
+use std::hint::black_box;
+
+fn bench_fig2_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_cell");
+    g.sample_size(10);
+    let n_through = flows_for_utilization(0.15);
+    let n_cross = flows_for_utilization(0.50) - n_through;
+    g.bench_function("fifo_h5_u50", |b| {
+        let t = tandem(n_through, n_cross, 5, PathScheduler::Fifo);
+        b.iter(|| black_box(&t).delay_bound(EPSILON))
+    });
+    g.bench_function("edf_fixed_point_h5_u50", |b| {
+        let t = tandem(n_through, n_cross, 5, PathScheduler::Fifo);
+        b.iter(|| black_box(&t).edf_delay_bound_fixed_point(EPSILON, 10.0))
+    });
+    g.finish();
+}
+
+fn bench_fig4_cell(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_cell");
+    g.sample_size(10);
+    let n_half = flows_for_utilization(0.50) / 2;
+    g.bench_function("additive_h10_u50", |b| {
+        let t = tandem(n_half, n_half, 10, PathScheduler::Bmux);
+        b.iter(|| black_box(&t).additive_bmux_delay(EPSILON))
+    });
+    g.bench_function("bmux_h10_u50", |b| {
+        let t = tandem(n_half, n_half, 10, PathScheduler::Bmux);
+        b.iter(|| black_box(&t).delay_bound(EPSILON))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2_cell, bench_fig4_cell);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the min-plus algebra substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_minplus::{Curve, SampledCurve};
+use std::hint::black_box;
+
+fn many_piece_concave(n: usize) -> Curve {
+    let pieces: Vec<(f64, f64)> =
+        (1..=n).map(|i| (50.0 / i as f64, 2.0 * i as f64)).collect();
+    Curve::concave_from_token_buckets(&pieces).expect("valid token buckets")
+}
+
+fn bench_pointwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pointwise");
+    for n in [4usize, 16, 64] {
+        let a = many_piece_concave(n);
+        let b = many_piece_concave(n + 1);
+        g.bench_with_input(BenchmarkId::new("min", n), &(a.clone(), b.clone()), |bch, (a, b)| {
+            bch.iter(|| black_box(a).min(black_box(b)))
+        });
+        g.bench_with_input(BenchmarkId::new("add", n), &(a, b), |bch, (a, b)| {
+            bch.iter(|| black_box(a).add(black_box(b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convolution");
+    let tb = Curve::token_bucket(1.0, 5.0);
+    let rl = Curve::rate_latency(4.0, 2.0);
+    g.bench_function("concave_convex_exact", |b| {
+        b.iter(|| black_box(&tb).convolve(black_box(&rl)))
+    });
+    let big_a = many_piece_concave(32);
+    let big_b = many_piece_concave(33);
+    g.bench_function("concave_pair_32pc", |b| {
+        b.iter(|| black_box(&big_a).convolve(black_box(&big_b)))
+    });
+    for n in [256usize, 1024] {
+        let sa = SampledCurve::from_curve(&big_a, 0.5, n);
+        let sb = SampledCurve::from_curve(&big_b, 0.5, n);
+        g.bench_with_input(BenchmarkId::new("grid", n), &(sa, sb), |bch, (sa, sb)| {
+            bch.iter(|| black_box(sa).convolve(black_box(sb)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_deviations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deviations");
+    let f = many_piece_concave(32);
+    let srv = Curve::rate_latency(60.0, 3.0);
+    g.bench_function("h_deviation_32pc", |b| {
+        b.iter(|| black_box(&f).h_deviation(black_box(&srv)))
+    });
+    g.bench_function("v_deviation_32pc", |b| {
+        b.iter(|| black_box(&f).v_deviation(black_box(&srv)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pointwise, bench_convolution, bench_deviations);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the tandem simulator: slots per second
+//! under each scheduler and across path lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nc_sim::{SchedulerKind, SimConfig, TandemSim};
+use std::hint::black_box;
+
+fn cfg(hops: usize, scheduler: SchedulerKind) -> SimConfig {
+    SimConfig {
+        capacity: 20.0,
+        hops,
+        n_through: 40,
+        n_cross: 60,
+        scheduler,
+        warmup: 0,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_scheduler");
+    let slots = 20_000u64;
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(slots));
+    for (name, kind) in [
+        ("fifo", SchedulerKind::Fifo),
+        ("bmux", SchedulerKind::Bmux),
+        ("edf", SchedulerKind::Edf { d_through: 10.0, d_cross: 40.0 }),
+        ("gps", SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sim = TandemSim::new(cfg(3, kind), 1);
+                black_box(sim.run(slots))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_path_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_hops");
+    let slots = 20_000u64;
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(slots));
+    for hops in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, &h| {
+            b.iter(|| {
+                let mut sim = TandemSim::new(cfg(h, SchedulerKind::Fifo), 1);
+                black_box(sim.run(slots))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_path_length);
+criterion_main!(benches);

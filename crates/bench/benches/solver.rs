@@ -1,0 +1,63 @@
+//! Criterion benchmarks for the end-to-end delay-bound solver stack:
+//! the Eq. (38) optimizer (numeric and explicit), the ε_net assembly,
+//! and the full γ/s-optimized pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_bench::{flows_for_utilization, tandem, CAPACITY, EPSILON};
+use nc_core::e2e::netbound;
+use nc_core::e2e::optimizer::{explicit, solve, NodeParams};
+use nc_core::PathScheduler;
+use nc_traffic::Ebb;
+use std::hint::black_box;
+
+fn homogeneous(gamma: f64, rho_c: f64, delta: f64, hops: usize) -> Vec<NodeParams> {
+    (1..=hops)
+        .map(|h| NodeParams {
+            c_eff: CAPACITY - (h as f64 - 1.0) * gamma,
+            r: rho_c + gamma,
+            delta,
+        })
+        .collect()
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer");
+    for hops in [2usize, 10, 30] {
+        let params = homogeneous(0.05, 40.0, 0.0, hops);
+        g.bench_with_input(BenchmarkId::new("numeric_fifo", hops), &params, |b, p| {
+            b.iter(|| solve(black_box(p), black_box(400.0)))
+        });
+        g.bench_with_input(BenchmarkId::new("explicit_fifo", hops), &hops, |b, &h| {
+            b.iter(|| explicit(CAPACITY, 0.05, 40.0, 0.0, black_box(h), black_box(400.0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_netbound(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netbound");
+    let through = Ebb::new(1.0, 15.0, 0.1);
+    for hops in [2usize, 10, 30] {
+        let cross = vec![Ebb::new(1.0, 40.0, 0.1); hops];
+        g.bench_with_input(BenchmarkId::new("sigma_for", hops), &cross, |b, cr| {
+            b.iter(|| netbound::sigma_for(black_box(&through), black_box(cr), 0.05, EPSILON))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_bound");
+    g.sample_size(10);
+    let n_half = flows_for_utilization(0.50) / 2;
+    for hops in [2usize, 10] {
+        let t = tandem(n_half, n_half, hops, PathScheduler::Fifo);
+        g.bench_with_input(BenchmarkId::new("fifo_gamma_s_opt", hops), &t, |b, t| {
+            b.iter(|| t.delay_bound(black_box(EPSILON)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizer, bench_netbound, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates **Fig. 2 (Example 1)** of the paper: end-to-end delay
+//! bounds of the through traffic for EDF (`d*_0 < d*_c`), BMUX, and
+//! FIFO as a function of the total utilization `U`, for path lengths
+//! `H = 2, 5, 10`, with `U_0 = 15%` (N₀ = 100 through flows) held
+//! constant and `ε = 10⁻⁹`.
+//!
+//! Run with `cargo run --release -p nc-bench --bin fig2`.
+//!
+//! Expected shape (paper, Section V-A): FIFO indistinguishable from
+//! BMUX from `H = 5` on; EDF noticeably lower with the gap growing in
+//! `H`; all bounds exploding as `U → 95%`.
+
+use nc_bench::{flows_for_utilization, tandem, EPSILON};
+use nc_core::PathScheduler;
+
+fn main() {
+    let n_through = flows_for_utilization(0.15); // N0 = 100
+    println!("# Fig. 2 — delay bounds [ms] vs total utilization U");
+    println!("# N0 = {n_through} (U0 = 15%), eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
+    for hops in [2usize, 5, 10] {
+        println!("\n## H = {hops}");
+        println!(
+            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}",
+            "U[%]", "Nc", "BMUX", "FIFO", "EDF", "FIFO/BMUX"
+        );
+        let mut u = 0.20;
+        while u <= 0.951 {
+            let n_total = flows_for_utilization(u);
+            let n_cross = n_total.saturating_sub(n_through);
+            let bmux = tandem(n_through, n_cross, hops, PathScheduler::Bmux)
+                .delay_bound(EPSILON)
+                .map(|b| b.bound.delay);
+            let fifo = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
+                .delay_bound(EPSILON)
+                .map(|b| b.bound.delay);
+            let edf = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
+                .edf_delay_bound_fixed_point(EPSILON, 10.0)
+                .map(|(b, _)| b.bound.delay);
+            let ratio = match (fifo, bmux) {
+                (Some(f), Some(b)) => format!("{:12.4}", f / b),
+                _ => format!("{:>12}", "-"),
+            };
+            println!(
+                "{:>6.0} {:>6} {} {} {} {}",
+                u * 100.0,
+                n_cross,
+                nc_bench::fmt(bmux),
+                nc_bench::fmt(fifo),
+                nc_bench::fmt(edf),
+                ratio
+            );
+            u += 0.05;
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 4 (Example 3)** of the paper: end-to-end delay
+//! bounds of the through traffic vs. path length `H`, with `N_0 = N_c`
+//! (`U_0 = U_c`), for total utilizations `U = 10, 50, 90%` and
+//! `ε = 10⁻⁹`. Includes the additive node-by-node BMUX baseline.
+//!
+//! Run with `cargo run --release -p nc-bench --bin fig4`.
+//!
+//! Expected shape (paper, Section V-C): the additive analysis blows up
+//! super-linearly (`O(H³ log H)` in discrete time), the network-
+//! service-curve bounds grow essentially linearly (`Θ(H log H)`), FIFO
+//! and BMUX appear identical over the whole range, and EDF stays
+//! noticeably lower at the higher utilizations.
+
+use nc_bench::{flows_for_utilization, tandem, EPSILON};
+use nc_core::PathScheduler;
+
+fn main() {
+    println!("# Fig. 4 — delay bounds [ms] vs path length H (N0 = Nc)");
+    println!("# eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
+    for u in [0.10, 0.50, 0.90] {
+        let n_half = flows_for_utilization(u) / 2;
+        println!("\n## U = {:.0}% (N0 = Nc = {n_half})", u * 100.0);
+        println!(
+            "{:>4} {:>12} {:>10} {:>10} {:>10}",
+            "H", "BMUX-add", "BMUX", "FIFO", "EDF"
+        );
+        for hops in [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30] {
+            let additive =
+                tandem(n_half, n_half, hops, PathScheduler::Bmux).additive_bmux_delay(EPSILON);
+            let bmux = tandem(n_half, n_half, hops, PathScheduler::Bmux)
+                .delay_bound(EPSILON)
+                .map(|b| b.bound.delay);
+            let fifo = tandem(n_half, n_half, hops, PathScheduler::Fifo)
+                .delay_bound(EPSILON)
+                .map(|b| b.bound.delay);
+            let edf = tandem(n_half, n_half, hops, PathScheduler::Fifo)
+                .edf_delay_bound_fixed_point(EPSILON, 10.0)
+                .map(|(b, _)| b.bound.delay);
+            println!(
+                "{:>4} {:>12} {} {} {}",
+                hops,
+                nc_bench::fmt(additive).trim_start(),
+                nc_bench::fmt(bmux),
+                nc_bench::fmt(fifo),
+                nc_bench::fmt(edf)
+            );
+        }
+    }
+}

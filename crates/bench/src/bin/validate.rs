@@ -1,0 +1,122 @@
+//! Bound-vs-simulation validation table (this repository's addition —
+//! the paper has no system artifact to validate against).
+//!
+//! For each scheduler, computes the analytical end-to-end delay bound
+//! at ε = 10⁻³ on a scaled-down tandem and compares it with the
+//! simulated delay quantile at the same violation level, plus the
+//! empirical violation frequency of the bound. A valid bound satisfies
+//! `sim quantile ≤ bound` and `P̂(W > bound) ≤ ε`.
+//!
+//! Run with `cargo run --release -p nc-bench --bin validate`.
+
+use nc_core::{MmooTandem, PathScheduler};
+use nc_sim::{SchedulerKind, SimConfig, TandemSim};
+use nc_traffic::Mmoo;
+
+fn main() {
+    let source = Mmoo::paper_source();
+    let capacity = 20.0; // scaled down so simulation reaches the tail
+    let eps = 1e-3;
+    let slots = 2_000_000u64;
+    println!("# Analytical bounds vs simulation (C = {capacity} kb/ms, eps = {eps:.0e})");
+    println!("# {slots} slots per cell, warmup 10k slots");
+    for (hops, n_through, n_cross) in [(1usize, 40, 60), (2, 40, 60), (4, 40, 60)] {
+        println!(
+            "\n## H = {hops}, N0 = {n_through}, Nc = {n_cross} (U ≈ {:.0}%)",
+            (n_through + n_cross) as f64 * source.mean_rate() / capacity * 100.0
+        );
+        println!(
+            "{:>18} {:>10} {:>12} {:>14} {:>8}",
+            "scheduler", "bound", "sim q(1-eps)", "P(W>bound)", "valid"
+        );
+        let cases: Vec<(&str, PathScheduler, SchedulerKind)> = vec![
+            ("FIFO", PathScheduler::Fifo, SchedulerKind::Fifo),
+            ("BMUX", PathScheduler::Bmux, SchedulerKind::Bmux),
+            (
+                "SP(through hi)",
+                PathScheduler::ThroughPriority,
+                SchedulerKind::ThroughPriority,
+            ),
+            (
+                "EDF(10,40)",
+                PathScheduler::Edf { d_through: 10.0, d_cross: 40.0 },
+                SchedulerKind::Edf { d_through: 10.0, d_cross: 40.0 },
+            ),
+        ];
+        for (name, analysis_sched, sim_sched) in cases {
+            let analysis = MmooTandem {
+                source,
+                n_through,
+                n_cross,
+                capacity,
+                hops,
+                scheduler: analysis_sched,
+            };
+            let bound = analysis.delay_bound(eps).map(|b| b.bound.delay);
+            let cfg = SimConfig {
+                capacity,
+                hops,
+                n_through,
+                n_cross,
+                source,
+                scheduler: sim_sched,
+                warmup: 10_000,
+                packet_size: None,
+            };
+            let mut stats = TandemSim::new(cfg, 0xF1D0).run(slots);
+            let q = stats.quantile(1.0 - eps).unwrap_or(f64::NAN);
+            let (viol, valid) = match bound {
+                Some(b) => {
+                    let v = stats.violation_fraction(b);
+                    (format!("{v:14.2e}"), if q <= b && v <= eps { "yes" } else { "NO" })
+                }
+                None => (format!("{:>14}", "-"), "-"),
+            };
+            println!(
+                "{:>18} {} {:>12.2} {} {:>8}",
+                name,
+                nc_bench::fmt(bound),
+                q,
+                viol,
+                valid
+            );
+        }
+        // GPS has no Δ-scheduler bound; report it against the BMUX bound,
+        // which dominates every work-conserving locally-FIFO scheduler.
+        let bmux_bound = MmooTandem {
+            source,
+            n_through,
+            n_cross,
+            capacity,
+            hops,
+            scheduler: PathScheduler::Bmux,
+        }
+        .delay_bound(eps)
+        .map(|b| b.bound.delay);
+        let cfg = SimConfig {
+            capacity,
+            hops,
+            n_through,
+            n_cross,
+            source,
+            scheduler: SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 },
+            warmup: 10_000,
+            packet_size: None,
+        };
+        let mut stats = TandemSim::new(cfg, 0xF1D0).run(slots);
+        let q = stats.quantile(1.0 - eps).unwrap_or(f64::NAN);
+        let note = match bmux_bound {
+            Some(b) if q <= b => "yes (vs BMUX)",
+            Some(_) => "NO (vs BMUX)",
+            None => "-",
+        };
+        println!(
+            "{:>18} {} {:>12.2} {:>14} {:>8}",
+            "GPS(1:1)",
+            nc_bench::fmt(bmux_bound),
+            q,
+            "n/a",
+            note
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Shared helpers for the figure-regeneration binaries and benches.
+//!
+//! The binaries in `src/bin/` regenerate the evaluation figures of
+//! *"Does Link Scheduling Matter on Long Paths?"* (ICDCS 2010):
+//!
+//! * `fig2` — Example 1: delay bounds vs. total utilization,
+//! * `fig3` — Example 2: delay bounds vs. traffic mix `U_c/U`,
+//! * `fig4` — Example 3: delay bounds vs. path length (incl. the
+//!   additive node-by-node baseline),
+//! * `validate` — bounds vs. simulated delay quantiles,
+//! * `ablation` — design-choice ablations (optimizer, slack splitting,
+//!   grid resolution).
+//!
+//! All use the paper's conventions: `C = 100` kb per 1 ms slot, MMOO
+//! flows with a mean rate of 0.15 kb/ms (so `U = N·0.15/100`), and
+//! violation probability `ε = 10⁻⁹`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nc_core::{MmooTandem, PathScheduler};
+use nc_traffic::Mmoo;
+
+/// The paper's per-flow mean rate used in the utilization convention
+/// (`U = N · 0.15 / C`; the exact MMOO mean is ≈0.1486).
+pub const FLOW_MEAN: f64 = 0.15;
+
+/// The paper's link capacity in kb per 1 ms slot (100 Mbps).
+pub const CAPACITY: f64 = 100.0;
+
+/// The paper's violation probability.
+pub const EPSILON: f64 = 1e-9;
+
+/// Number of flows corresponding to a utilization fraction `u` under
+/// the paper's convention.
+pub fn flows_for_utilization(u: f64) -> usize {
+    (u * CAPACITY / FLOW_MEAN).round() as usize
+}
+
+/// Builds the paper's tandem for given flow counts.
+pub fn tandem(n_through: usize, n_cross: usize, hops: usize, sched: PathScheduler) -> MmooTandem {
+    MmooTandem {
+        source: Mmoo::paper_source(),
+        n_through,
+        n_cross,
+        capacity: CAPACITY,
+        hops,
+        scheduler: sched,
+    }
+}
+
+/// Formats an optional delay value for table output.
+pub fn fmt(d: Option<f64>) -> String {
+    match d {
+        Some(v) if v.is_finite() => format!("{v:10.2}"),
+        _ => format!("{:>10}", "-"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_round_trip() {
+        assert_eq!(flows_for_utilization(0.15), 100);
+        assert_eq!(flows_for_utilization(0.50), 333);
+        assert_eq!(flows_for_utilization(0.95), 633);
+    }
+
+    #[test]
+    fn tandem_matches_paper_defaults() {
+        let t = tandem(100, 233, 5, PathScheduler::Fifo);
+        assert_eq!(t.capacity, CAPACITY);
+        assert!((t.utilization() - 0.495).abs() < 0.02);
+    }
+
+    #[test]
+    fn fmt_handles_missing() {
+        assert!(fmt(None).contains('-'));
+        assert!(fmt(Some(12.345)).contains("12.3"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Admission control: inverting the delay bound into admissible load.
+//!
+//! The operational form of the paper's question: *given* a delay budget
+//! and violation probability, how much traffic can a path admit under
+//! each scheduler? The delay bound is monotone in the cross (and
+//! through) load, so the inversion is a bisection over flow counts.
+
+use crate::e2e::MmooTandem;
+
+/// The outcome of an admission search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionLimit {
+    /// The largest admissible flow count.
+    pub flows: usize,
+    /// The delay bound at that count (ms), if any flow is admissible.
+    pub delay_at_limit: Option<f64>,
+    /// The link utilization at the limit.
+    pub utilization: f64,
+}
+
+/// EDF deadline policy for admission searches: either fixed per-node
+/// deadlines (via the tandem's own scheduler) or the paper's
+/// self-referential fixed point with the given cross/through deadline
+/// ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdfMode {
+    /// Use `tandem.scheduler` as-is.
+    AsConfigured,
+    /// Solve the EDF fixed point with `d*_c = ratio · d*_0`.
+    FixedPoint {
+        /// The cross-to-through deadline ratio (the paper uses 10).
+        cross_over_through: f64,
+    },
+}
+
+/// Largest `n ≥ 1` satisfying a monotone predicate (exponential search
+/// plus bisection), or `0` if `n = 1` already fails. The predicate must
+/// be non-increasing in `n` (more load never helps).
+fn search_max(meets: impl Fn(usize) -> bool) -> usize {
+    if !meets(1) {
+        return 0;
+    }
+    let (mut lo, mut hi) = (1usize, 2usize);
+    while meets(hi) {
+        lo = hi;
+        hi *= 2;
+        if hi > 1 << 20 {
+            return lo; // absurd load; instability bounds the search in practice
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn bound_of(tandem: &MmooTandem, epsilon: f64, mode: EdfMode) -> Option<f64> {
+    match mode {
+        EdfMode::AsConfigured => tandem.delay_bound(epsilon).map(|b| b.bound.delay),
+        EdfMode::FixedPoint { cross_over_through } => tandem
+            .edf_delay_bound_fixed_point(epsilon, cross_over_through)
+            .map(|(b, _)| b.bound.delay),
+    }
+}
+
+/// The largest number of *cross* flows per node for which the through
+/// traffic still meets `P(W > budget) < epsilon`, holding everything
+/// else in `tandem` fixed. Returns `flows = 0` when even one cross flow
+/// breaks the budget.
+///
+/// The bound is non-decreasing in the cross load (more interference
+/// can only hurt), so exponential search plus bisection is exact.
+///
+/// # Panics
+///
+/// Panics if `budget` is not positive/finite or `epsilon` not in
+/// `(0, 1)`.
+pub fn max_cross_flows(
+    tandem: &MmooTandem,
+    budget: f64,
+    epsilon: f64,
+    mode: EdfMode,
+) -> AdmissionLimit {
+    assert!(budget > 0.0 && budget.is_finite(), "max_cross_flows: bad budget");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "max_cross_flows: epsilon must be in (0,1)");
+    let with_n = |n: usize| MmooTandem { n_cross: n, ..*tandem };
+    let meets = |n: usize| matches!(bound_of(&with_n(n), epsilon, mode), Some(d) if d <= budget);
+    let flows = search_max(meets);
+    if flows == 0 {
+        return AdmissionLimit {
+            flows: 0,
+            delay_at_limit: bound_of(&with_n(0), epsilon, mode).filter(|d| *d <= budget),
+            utilization: with_n(0).utilization(),
+        };
+    }
+    let limit = with_n(flows);
+    AdmissionLimit {
+        flows,
+        delay_at_limit: bound_of(&limit, epsilon, mode),
+        utilization: limit.utilization(),
+    }
+}
+
+/// The largest number of *through* flows that still meet the budget,
+/// holding the cross load fixed (sizing the provisioned aggregate
+/// itself). Returns `flows = 0` when even one through flow misses it.
+///
+/// # Panics
+///
+/// As for [`max_cross_flows`].
+pub fn max_through_flows(
+    tandem: &MmooTandem,
+    budget: f64,
+    epsilon: f64,
+    mode: EdfMode,
+) -> AdmissionLimit {
+    assert!(budget > 0.0 && budget.is_finite(), "max_through_flows: bad budget");
+    assert!(epsilon > 0.0 && epsilon < 1.0, "max_through_flows: epsilon must be in (0,1)");
+    let with_n = |n: usize| MmooTandem { n_through: n.max(1), ..*tandem };
+    let meets = |n: usize| matches!(bound_of(&with_n(n), epsilon, mode), Some(d) if d <= budget);
+    let flows = search_max(meets);
+    if flows == 0 {
+        return AdmissionLimit { flows: 0, delay_at_limit: None, utilization: 0.0 };
+    }
+    let limit = with_n(flows);
+    AdmissionLimit {
+        flows,
+        delay_at_limit: bound_of(&limit, epsilon, mode),
+        utilization: limit.utilization(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PathScheduler;
+    use nc_traffic::Mmoo;
+
+    // Small path and coarse ε keep these searches fast: each admission
+    // search runs tens of full delay-bound optimizations.
+    fn base(sched: PathScheduler) -> MmooTandem {
+        MmooTandem {
+            source: Mmoo::paper_source(),
+            n_through: 60,
+            n_cross: 0, // varied by the search
+            capacity: 100.0,
+            hops: 2,
+            scheduler: sched,
+        }
+    }
+
+    #[test]
+    fn admission_ordering_matches_scheduler_ordering() {
+        let budget = 60.0;
+        let eps = 1e-6;
+        let bmux = max_cross_flows(&base(PathScheduler::Bmux), budget, eps, EdfMode::AsConfigured);
+        let fifo = max_cross_flows(&base(PathScheduler::Fifo), budget, eps, EdfMode::AsConfigured);
+        let sp = max_cross_flows(
+            &base(PathScheduler::ThroughPriority),
+            budget,
+            eps,
+            EdfMode::AsConfigured,
+        );
+        assert!(bmux.flows <= fifo.flows, "{} vs {}", bmux.flows, fifo.flows);
+        assert!(fifo.flows <= sp.flows, "{} vs {}", fifo.flows, sp.flows);
+        // Sanity: SP admits strictly more than BMUX on this setup.
+        assert!(sp.flows > bmux.flows);
+    }
+
+    #[test]
+    fn limit_meets_budget_and_next_flow_breaks_it() {
+        let budget = 60.0;
+        let eps = 1e-6;
+        let t = base(PathScheduler::Fifo);
+        let lim = max_cross_flows(&t, budget, eps, EdfMode::AsConfigured);
+        assert!(lim.flows > 0);
+        assert!(lim.delay_at_limit.unwrap() <= budget);
+        let over = MmooTandem { n_cross: lim.flows + 1, ..t };
+        let d_over = over.delay_bound(eps).map(|b| b.bound.delay);
+        assert!(d_over.is_none_or(|d| d > budget), "limit not maximal");
+    }
+
+    #[test]
+    fn edf_fixed_point_admits_more_than_fifo() {
+        let budget = 25.0;
+        let eps = 1e-6;
+        let t = base(PathScheduler::Fifo);
+        let fifo = max_cross_flows(&t, budget, eps, EdfMode::AsConfigured);
+        let edf = max_cross_flows(
+            &t,
+            budget,
+            eps,
+            EdfMode::FixedPoint { cross_over_through: 10.0 },
+        );
+        assert!(edf.flows >= fifo.flows);
+    }
+
+    #[test]
+    fn through_sizing_is_monotone_in_budget() {
+        let t = MmooTandem { n_cross: 150, ..base(PathScheduler::Fifo) };
+        let eps = 1e-6;
+        let small = max_through_flows(&t, 60.0, eps, EdfMode::AsConfigured);
+        let large = max_through_flows(&t, 120.0, eps, EdfMode::AsConfigured);
+        assert!(large.flows >= small.flows);
+        assert!(small.flows > 0);
+    }
+
+    #[test]
+    fn impossible_budget_admits_nothing() {
+        let t = MmooTandem { n_cross: 600, ..base(PathScheduler::Bmux) };
+        let lim = max_cross_flows(&t, 1e-3, 1e-6, EdfMode::AsConfigured);
+        assert_eq!(lim.flows, 0);
+    }
+}

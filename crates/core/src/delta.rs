@@ -1,0 +1,320 @@
+//! Δ-schedulers (Definition 1 of the paper).
+//!
+//! A Δ-scheduler is a work-conserving, locally-FIFO link scheduler whose
+//! operation is completely described by constants `Δ_{j,k}`: an arrival
+//! from flow `j` at time `t` has precedence over all arrivals from flow
+//! `k` that occur after `t + Δ_{j,k}`. Values `±∞` are allowed (strict
+//! priority), and every locally-FIFO scheduler has `Δ_{j,j} = 0`.
+
+/// A link scheduling policy over a set of `n` flows, described by its
+/// Δ-matrix (Definition 1).
+///
+/// The constructors cover the schedulers analysed in the paper:
+///
+/// * [`DeltaScheduler::fifo`] — `Δ_{j,k} = 0`,
+/// * [`DeltaScheduler::static_priority`] — `Δ = −∞ / 0 / +∞` by priority
+///   level (blind multiplexing is the special case where the tagged flow
+///   has the unique lowest priority),
+/// * [`DeltaScheduler::edf`] — `Δ_{j,k} = d*_j − d*_k`,
+/// * [`DeltaScheduler::from_matrix`] — an explicit Δ-matrix.
+///
+/// GPS/fair-queueing is *not* a Δ-scheduler (its precedence horizon is
+/// random); see the paper's Section III discussion. The simulator crate
+/// implements GPS to exercise that boundary empirically.
+///
+/// # Example
+///
+/// ```
+/// use nc_core::DeltaScheduler;
+///
+/// // Three flows with EDF deadlines 5, 10, 50 (per-slot units).
+/// let edf = DeltaScheduler::edf(&[5.0, 10.0, 50.0]);
+/// assert_eq!(edf.delta(0, 1), -5.0);
+/// assert_eq!(edf.delta(2, 0), 45.0);
+/// assert_eq!(edf.delta(1, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaScheduler {
+    /// Row-major Δ-matrix; entry `(j, k)` bounds the precedence horizon
+    /// of flow `k` relative to a tagged arrival of flow `j`.
+    delta: Vec<Vec<f64>>,
+}
+
+impl DeltaScheduler {
+    /// FIFO over `n` flows: `Δ_{j,k} = 0` for all pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn fifo(n: usize) -> Self {
+        assert!(n > 0, "fifo: need at least one flow");
+        DeltaScheduler { delta: vec![vec![0.0; n]; n] }
+    }
+
+    /// Static priority: `levels[j]` is flow `j`'s priority level, with
+    /// **smaller numbers meaning higher priority** (level 0 is served
+    /// first). Flows at the same level share FIFO order.
+    ///
+    /// `Δ_{j,k} = −∞` if `k` has lower priority, `0` if equal, `+∞` if
+    /// `k` has higher priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn static_priority(levels: &[u32]) -> Self {
+        assert!(!levels.is_empty(), "static_priority: need at least one flow");
+        let n = levels.len();
+        let mut delta = vec![vec![0.0; n]; n];
+        for j in 0..n {
+            for k in 0..n {
+                delta[j][k] = match levels[k].cmp(&levels[j]) {
+                    std::cmp::Ordering::Greater => f64::NEG_INFINITY, // k lower priority
+                    std::cmp::Ordering::Equal => 0.0,
+                    std::cmp::Ordering::Less => f64::INFINITY, // k higher priority
+                };
+            }
+        }
+        DeltaScheduler { delta }
+    }
+
+    /// Blind multiplexing with respect to flow `tagged`: the tagged flow
+    /// has the unique lowest priority, all other flows the highest.
+    ///
+    /// This is the benchmark scheduler of the paper — it yields the
+    /// largest delays for the tagged flow among all work-conserving
+    /// locally-FIFO schedulers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tagged ≥ n` or `n` is zero.
+    pub fn bmux(n: usize, tagged: usize) -> Self {
+        assert!(tagged < n, "bmux: tagged flow out of range");
+        let levels: Vec<u32> = (0..n).map(|j| if j == tagged { 1 } else { 0 }).collect();
+        DeltaScheduler::static_priority(&levels)
+    }
+
+    /// Earliest-Deadline-First with a-priori per-flow delay targets
+    /// `deadlines[j] = d*_j`: `Δ_{j,k} = d*_j − d*_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadlines` is empty or contains a non-finite or
+    /// negative value.
+    pub fn edf(deadlines: &[f64]) -> Self {
+        assert!(!deadlines.is_empty(), "edf: need at least one flow");
+        for &d in deadlines {
+            assert!(d >= 0.0 && d.is_finite(), "edf: deadlines must be finite and non-negative");
+        }
+        let n = deadlines.len();
+        let mut delta = vec![vec![0.0; n]; n];
+        for j in 0..n {
+            for k in 0..n {
+                delta[j][k] = deadlines[j] - deadlines[k];
+            }
+        }
+        DeltaScheduler { delta }
+    }
+
+    /// An explicit Δ-matrix. Entries may be `±∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or not square, if any diagonal
+    /// entry is non-zero (Δ-schedulers are locally FIFO, which forces
+    /// `Δ_{j,j} = 0`), or if an entry is NaN.
+    pub fn from_matrix(delta: Vec<Vec<f64>>) -> Self {
+        let n = delta.len();
+        assert!(n > 0, "from_matrix: need at least one flow");
+        for (j, row) in delta.iter().enumerate() {
+            assert_eq!(row.len(), n, "from_matrix: matrix must be square");
+            for (k, &v) in row.iter().enumerate() {
+                assert!(!v.is_nan(), "from_matrix: Δ[{j}][{k}] is NaN");
+            }
+            assert_eq!(row[j], 0.0, "from_matrix: locally-FIFO requires Δ[j][j] = 0");
+        }
+        DeltaScheduler { delta }
+    }
+
+    /// Number of flows.
+    pub fn flows(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The constant `Δ_{j,k}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or `k` is out of range.
+    pub fn delta(&self, j: usize, k: usize) -> f64 {
+        self.delta[j][k]
+    }
+
+    /// The capped constant `Δ_{j,k}(y) = min(Δ_{j,k}, y)` (Eq. (7)): the
+    /// precedence horizon of already-occurred arrivals when the tagged
+    /// arrival has waited `y` units.
+    pub fn delta_capped(&self, j: usize, k: usize, y: f64) -> f64 {
+        self.delta[j][k].min(y)
+    }
+
+    /// The set `N_j` of flows that can influence the delay of flow `j`
+    /// (those with `Δ_{j,k} > −∞`), including `j` itself.
+    pub fn interfering(&self, j: usize) -> Vec<usize> {
+        (0..self.flows()).filter(|&k| self.delta[j][k] > f64::NEG_INFINITY).collect()
+    }
+
+    /// The set `N_{−j}` of *cross* flows that can influence flow `j`
+    /// (interfering flows other than `j`).
+    pub fn cross(&self, j: usize) -> Vec<usize> {
+        self.interfering(j).into_iter().filter(|&k| k != j).collect()
+    }
+}
+
+/// The through/cross scheduler abstraction for a tandem path (Section
+/// IV): all cross traffic at a node is aggregated, so the analysis only
+/// needs the single constant `Δ_{0,c}` of the through traffic against
+/// the cross aggregate.
+///
+/// # Example
+///
+/// ```
+/// use nc_core::PathScheduler;
+///
+/// assert_eq!(PathScheduler::Fifo.delta(), 0.0);
+/// assert!(PathScheduler::Bmux.delta().is_infinite());
+/// let edf = PathScheduler::Edf { d_through: 5.0, d_cross: 50.0 };
+/// assert_eq!(edf.delta(), -45.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PathScheduler {
+    /// First-in-first-out: `Δ_{0,c} = 0`.
+    Fifo,
+    /// Blind multiplexing — the through flow has the lowest priority:
+    /// `Δ_{0,c} = +∞`. The most pessimistic Δ-scheduler.
+    Bmux,
+    /// The through flow has strict priority over all cross traffic:
+    /// `Δ_{0,c} = −∞`. The most optimistic Δ-scheduler.
+    ThroughPriority,
+    /// Earliest-Deadline-First with the given a-priori per-node delay
+    /// targets: `Δ_{0,c} = d*_through − d*_cross`.
+    Edf {
+        /// Per-node deadline of the through traffic.
+        d_through: f64,
+        /// Per-node deadline of the cross traffic.
+        d_cross: f64,
+    },
+    /// An explicit `Δ_{0,c}` value (may be `±∞`).
+    Delta(f64),
+}
+
+impl PathScheduler {
+    /// The scheduler constant `Δ_{0,c}` of the through traffic against
+    /// the cross aggregate.
+    pub fn delta(&self) -> f64 {
+        match *self {
+            PathScheduler::Fifo => 0.0,
+            PathScheduler::Bmux => f64::INFINITY,
+            PathScheduler::ThroughPriority => f64::NEG_INFINITY,
+            PathScheduler::Edf { d_through, d_cross } => d_through - d_cross,
+            PathScheduler::Delta(d) => d,
+        }
+    }
+
+    /// The capped constant `Δ_{0,c}(y) = min(Δ_{0,c}, y)`.
+    pub fn delta_capped(&self, y: f64) -> f64 {
+        self.delta().min(y)
+    }
+}
+
+impl std::fmt::Display for PathScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathScheduler::Fifo => write!(f, "FIFO"),
+            PathScheduler::Bmux => write!(f, "BMUX"),
+            PathScheduler::ThroughPriority => write!(f, "SP(through high)"),
+            PathScheduler::Edf { d_through, d_cross } => {
+                write!(f, "EDF(d*0={d_through}, d*c={d_cross})")
+            }
+            PathScheduler::Delta(d) => write!(f, "Δ={d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_matrix_is_zero() {
+        let s = DeltaScheduler::fifo(3);
+        for j in 0..3 {
+            for k in 0..3 {
+                assert_eq!(s.delta(j, k), 0.0);
+            }
+        }
+        assert_eq!(s.interfering(0), vec![0, 1, 2]);
+        assert_eq!(s.cross(1), vec![0, 2]);
+    }
+
+    #[test]
+    fn static_priority_matrix() {
+        // Flow 0 high (level 0), flow 1 low (level 1).
+        let s = DeltaScheduler::static_priority(&[0, 1]);
+        assert_eq!(s.delta(0, 1), f64::NEG_INFINITY); // 1 is lower: never precedes 0
+        assert_eq!(s.delta(1, 0), f64::INFINITY); // 0 always precedes 1
+        assert_eq!(s.delta(0, 0), 0.0);
+        // The low-priority flow is not interfered…
+        assert_eq!(s.cross(0), Vec::<usize>::new());
+        assert_eq!(s.cross(1), vec![0]);
+    }
+
+    #[test]
+    fn bmux_is_lowest_priority_for_tagged() {
+        let s = DeltaScheduler::bmux(4, 2);
+        for k in 0..4 {
+            if k != 2 {
+                assert_eq!(s.delta(2, k), f64::INFINITY);
+                assert_eq!(s.delta(k, 2), f64::NEG_INFINITY);
+            }
+        }
+    }
+
+    #[test]
+    fn edf_matrix_antisymmetric() {
+        let s = DeltaScheduler::edf(&[2.0, 8.0]);
+        assert_eq!(s.delta(0, 1), -6.0);
+        assert_eq!(s.delta(1, 0), 6.0);
+        assert_eq!(s.delta(0, 1), -s.delta(1, 0));
+    }
+
+    #[test]
+    fn delta_capped_caps() {
+        let s = DeltaScheduler::edf(&[2.0, 8.0]);
+        assert_eq!(s.delta_capped(1, 0, 3.0), 3.0); // min(6, 3)
+        assert_eq!(s.delta_capped(0, 1, 3.0), -6.0); // min(−6, 3)
+        let f = DeltaScheduler::fifo(2);
+        assert_eq!(f.delta_capped(0, 1, 5.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "locally-FIFO requires")]
+    fn from_matrix_rejects_nonzero_diagonal() {
+        let _ = DeltaScheduler::from_matrix(vec![vec![1.0, 0.0], vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    fn path_scheduler_deltas() {
+        assert_eq!(PathScheduler::Fifo.delta(), 0.0);
+        assert_eq!(PathScheduler::Bmux.delta(), f64::INFINITY);
+        assert_eq!(PathScheduler::ThroughPriority.delta(), f64::NEG_INFINITY);
+        assert_eq!(PathScheduler::Edf { d_through: 3.0, d_cross: 1.0 }.delta(), 2.0);
+        assert_eq!(PathScheduler::Delta(-4.0).delta(), -4.0);
+        assert_eq!(PathScheduler::Bmux.delta_capped(7.0), 7.0);
+        assert_eq!(PathScheduler::Fifo.delta_capped(7.0), 0.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", PathScheduler::Fifo), "FIFO");
+        assert!(format!("{}", PathScheduler::Edf { d_through: 1.0, d_cross: 2.0 }).contains("EDF"));
+    }
+}

@@ -1,0 +1,169 @@
+//! The deterministic case `γ = 0` (Section IV, third special case).
+//!
+//! Setting `M = e^{Bα}` and `α → ∞` in the EBB model recovers leaky
+//! buckets `E(t) = R·t + B`; the slack collapses to
+//! `σ = H·B_c + B_0` (every bounding term contributes its burst) and
+//! the optimization of Eq. (38) runs with `γ = 0`, producing end-to-end
+//! delay bounds for the *deterministic* network calculus in which
+//! bounds are never violated.
+//!
+//! As the paper notes, for FIFO these bounds are weaker than the
+//! specialised FIFO analysis of Lenzini et al. — the price of the
+//! scheduler-generic route. The tests quantify the relationship and
+//! cross-check BMUX against the classical min-plus pipeline (leftover
+//! rate-latency curves composed by convolution).
+
+use crate::delta::PathScheduler;
+use crate::e2e::optimizer::{self, NodeParams};
+
+/// A leaky-bucket (rate, burst) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakyBucket {
+    /// Sustained rate `R`.
+    pub rate: f64,
+    /// Burst `B`.
+    pub burst: f64,
+}
+
+impl LeakyBucket {
+    /// Creates a leaky bucket description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is negative or not finite.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "LeakyBucket: rate must be finite, non-negative");
+        assert!(burst >= 0.0 && burst.is_finite(), "LeakyBucket: burst must be finite, non-negative");
+        LeakyBucket { rate, burst }
+    }
+}
+
+/// Deterministic end-to-end delay bound (never violated) for
+/// leaky-bucket through and cross traffic across `hops` homogeneous
+/// nodes under any Δ-scheduler: the `γ = 0` limit of the stochastic
+/// analysis with `σ = H·B_c + B_0`.
+///
+/// Returns `None` when any node lacks long-run capacity
+/// (`ρ + ρ_c ≥ C` — the deterministic analysis additionally requires
+/// `ρ_c < C` for leftover service to exist).
+///
+/// # Panics
+///
+/// Panics if `capacity` is not positive/finite or `hops` is zero.
+pub fn deterministic_delay_bound(
+    capacity: f64,
+    hops: usize,
+    through: LeakyBucket,
+    cross: LeakyBucket,
+    scheduler: PathScheduler,
+) -> Option<f64> {
+    assert!(capacity > 0.0 && capacity.is_finite(), "deterministic_delay_bound: bad capacity");
+    assert!(hops > 0, "deterministic_delay_bound: need at least one hop");
+    if through.rate + cross.rate >= capacity {
+        return None;
+    }
+    let sigma = hops as f64 * cross.burst + through.burst;
+    let params: Vec<NodeParams> = (0..hops)
+        .map(|_| NodeParams { c_eff: capacity, r: cross.rate, delta: scheduler.delta() })
+        .collect();
+    optimizer::solve(&params, sigma).map(|s| s.delay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_minplus::Curve;
+
+    const C: f64 = 10.0;
+
+    #[test]
+    fn bmux_matches_minplus_convolution_pipeline() {
+        // BMUX leftover at each node: rate-latency(C − r_c, B_c/(C − r_c));
+        // the network service curve is their H-fold convolution and the
+        // delay bound its horizontal deviation against the through
+        // envelope. The γ = 0 optimizer must reproduce it exactly.
+        let through = LeakyBucket::new(2.0, 4.0);
+        let cross = LeakyBucket::new(3.0, 6.0);
+        for hops in [1usize, 2, 5, 10] {
+            let opt = deterministic_delay_bound(C, hops, through, cross, PathScheduler::Bmux)
+                .expect("stable");
+            let leftover =
+                Curve::rate_latency(C - cross.rate, cross.burst / (C - cross.rate));
+            let mut net = Curve::delta(0.0);
+            for _ in 0..hops {
+                net = net.convolve(&leftover);
+            }
+            let env = Curve::token_bucket(through.rate, through.burst);
+            let minplus = env.h_deviation(&net).expect("finite delay");
+            assert!(
+                (opt - minplus).abs() / minplus < 1e-6,
+                "H={hops}: optimizer {opt} vs min-plus {minplus}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_fifo_matches_tight_cruz_bound() {
+        // H = 1, FIFO: the γ=0 optimization gives d = (B_0+B_c)/C — the
+        // classical tight FIFO bound.
+        let through = LeakyBucket::new(2.0, 4.0);
+        let cross = LeakyBucket::new(3.0, 6.0);
+        let d = deterministic_delay_bound(C, 1, through, cross, PathScheduler::Fifo).unwrap();
+        assert!((d - 10.0 / C).abs() < 1e-9, "{d}");
+    }
+
+    #[test]
+    fn scheduler_ordering_holds_deterministically() {
+        let through = LeakyBucket::new(2.0, 4.0);
+        let cross = LeakyBucket::new(3.0, 6.0);
+        for hops in [1usize, 3, 8] {
+            let sp = deterministic_delay_bound(
+                C,
+                hops,
+                through,
+                cross,
+                PathScheduler::ThroughPriority,
+            )
+            .unwrap();
+            let fifo =
+                deterministic_delay_bound(C, hops, through, cross, PathScheduler::Fifo).unwrap();
+            let bmux =
+                deterministic_delay_bound(C, hops, through, cross, PathScheduler::Bmux).unwrap();
+            assert!(sp <= fifo + 1e-9, "H={hops}");
+            assert!(fifo <= bmux + 1e-9, "H={hops}");
+        }
+    }
+
+    #[test]
+    fn through_priority_ignores_cross_bursts() {
+        // Δ = −∞ drops the cross term entirely: d = σ/C = (H·B_c+B_0)/C…
+        // with [X+Δ]₊ = 0 the constraint is C·(X+θ) ≥ σ.
+        let through = LeakyBucket::new(2.0, 4.0);
+        let cross = LeakyBucket::new(3.0, 6.0);
+        let h = 4usize;
+        let d = deterministic_delay_bound(C, h, through, cross, PathScheduler::ThroughPriority)
+            .unwrap();
+        let sigma = h as f64 * cross.burst + through.burst;
+        assert!((d - sigma / C).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grows_linearly_in_hops() {
+        let through = LeakyBucket::new(2.0, 4.0);
+        let cross = LeakyBucket::new(3.0, 6.0);
+        let d2 = deterministic_delay_bound(C, 2, through, cross, PathScheduler::Fifo).unwrap();
+        let d8 = deterministic_delay_bound(C, 8, through, cross, PathScheduler::Fifo).unwrap();
+        // Linear in H (bursts accumulate once per hop, no quadratic term).
+        assert!(d8 < 4.2 * d2 && d8 > 3.0 * d2, "d2={d2}, d8={d8}");
+    }
+
+    #[test]
+    fn overload_returns_none() {
+        let through = LeakyBucket::new(6.0, 1.0);
+        let cross = LeakyBucket::new(5.0, 1.0);
+        assert_eq!(
+            deterministic_delay_bound(C, 2, through, cross, PathScheduler::Fifo),
+            None
+        );
+    }
+}

@@ -1,0 +1,369 @@
+//! End-to-end delay analysis across a tandem of Δ-scheduler nodes
+//! (Section IV of the paper).
+//!
+//! The central object is [`TandemPath`]: a through flow crossing `H`
+//! nodes of capacity `C`, with i.i.d. EBB cross traffic at every node
+//! and a common Δ-scheduler (Fig. 1 of the paper). Its
+//! [`TandemPath::delay_bound`] computes the probabilistic end-to-end
+//! delay bound by
+//!
+//! 1. assembling the network bounding function (Eqs. (31)/(34)) and
+//!    inverting it at the target violation probability to get `σ`,
+//! 2. solving the optimization problem of Eq. (38) for `d(σ)`,
+//! 3. minimizing numerically over the free rate `γ` (Eq. (32)).
+//!
+//! [`MmooTandem`] adds the outer optimization over the effective-
+//! bandwidth moment parameter `s` for the paper's Markov-modulated
+//! on-off workloads, and the EDF deadline fixed point used in the
+//! numerical examples.
+
+pub mod additive;
+pub mod closed_forms;
+pub mod deterministic;
+pub mod hetero;
+pub mod netbound;
+pub mod optimizer;
+pub mod source_tandem;
+
+use crate::delta::PathScheduler;
+use nc_traffic::{Ebb, Mmoo};
+use optimizer::NodeParams;
+pub use source_tandem::{SourceDelayBound, SourceTandem};
+
+/// A homogeneous tandem path (Fig. 1): `hops` nodes of rate `capacity`,
+/// a through EBB aggregate, i.i.d. EBB cross aggregates, and one
+/// Δ-scheduler used at every node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TandemPath {
+    capacity: f64,
+    hops: usize,
+    through: Ebb,
+    cross: Ebb,
+    scheduler: PathScheduler,
+}
+
+/// A probabilistic end-to-end delay bound together with the witnesses
+/// of its computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E2eDelayBound {
+    /// The delay bound `d` with `P(W > d) < ε`.
+    pub delay: f64,
+    /// Target violation probability `ε`.
+    pub epsilon: f64,
+    /// The slack `σ` consumed by the bounding functions.
+    pub sigma: f64,
+    /// The free rate parameter `γ` at which the bound was found.
+    pub gamma: f64,
+    /// The optimization variable `X = d − Σθ_h`.
+    pub x: f64,
+    /// Per-node `θ_h` of the optimization (Eq. (38)).
+    pub thetas: Vec<f64>,
+}
+
+impl TandemPath {
+    /// Creates a path description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive/finite or `hops` is zero.
+    /// (Stability — `ρ + ρ_c < C` — is *not* required here; an unstable
+    /// path simply has no finite delay bound.)
+    pub fn new(
+        capacity: f64,
+        hops: usize,
+        through: Ebb,
+        cross: Ebb,
+        scheduler: PathScheduler,
+    ) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "TandemPath: capacity must be positive");
+        assert!(hops > 0, "TandemPath: need at least one hop");
+        TandemPath { capacity, hops, through, cross, scheduler }
+    }
+
+    /// Link capacity `C`.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Path length `H`.
+    pub fn hops(&self) -> usize {
+        self.hops
+    }
+
+    /// The through aggregate.
+    pub fn through(&self) -> &Ebb {
+        &self.through
+    }
+
+    /// The per-node cross aggregate.
+    pub fn cross(&self) -> &Ebb {
+        &self.cross
+    }
+
+    /// The scheduler in use at every node.
+    pub fn scheduler(&self) -> PathScheduler {
+        self.scheduler
+    }
+
+    /// Returns a copy of the path with a different scheduler (all other
+    /// parameters unchanged) — convenient for scheduler comparisons.
+    pub fn with_scheduler(&self, scheduler: PathScheduler) -> Self {
+        TandemPath { scheduler, ..self.clone() }
+    }
+
+    /// The upper end of the admissible `γ` range (Eq. (32)):
+    /// `(H+1)·γ < C − ρ_c − ρ`.
+    pub fn gamma_max(&self) -> f64 {
+        (self.capacity - self.cross.rho() - self.through.rho()) / (self.hops as f64 + 1.0)
+    }
+
+    /// Whether the long-run load is below capacity (`ρ + ρ_c < C`).
+    pub fn is_stable(&self) -> bool {
+        self.gamma_max() > 0.0
+    }
+
+    fn node_params(&self, gamma: f64) -> Vec<NodeParams> {
+        (1..=self.hops)
+            .map(|h| NodeParams {
+                c_eff: self.capacity - (h as f64 - 1.0) * gamma,
+                r: self.cross.rho() + gamma,
+                delta: self.scheduler.delta(),
+            })
+            .collect()
+    }
+
+    /// The end-to-end delay bound at a *fixed* `γ` (steps 1–2 of the
+    /// pipeline; no outer optimization).
+    ///
+    /// Returns `None` if `γ` is outside `(0, γ_max)` or the optimization
+    /// is infeasible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn delay_bound_at_gamma(&self, epsilon: f64, gamma: f64) -> Option<E2eDelayBound> {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "delay_bound_at_gamma: epsilon must be in (0,1)");
+        if gamma <= 0.0 || gamma >= self.gamma_max() {
+            return None;
+        }
+        let cross_nodes = vec![self.cross; self.hops];
+        let sigma = netbound::sigma_for(&self.through, &cross_nodes, gamma, epsilon);
+        let sol = optimizer::solve(&self.node_params(gamma), sigma)?;
+        Some(E2eDelayBound {
+            delay: sol.delay,
+            epsilon,
+            sigma,
+            gamma,
+            x: sol.x,
+            thetas: sol.thetas,
+        })
+    }
+
+    /// The probabilistic end-to-end delay bound
+    /// `P(W > d) < epsilon`, optimized over `γ` (grid search with local
+    /// refinement over `(0, γ_max)`).
+    ///
+    /// Returns `None` for unstable paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use nc_core::{PathScheduler, TandemPath};
+    /// use nc_traffic::Mmoo;
+    ///
+    /// let src = Mmoo::paper_source();
+    /// let s = 0.05;
+    /// let path = TandemPath::new(
+    ///     100.0,                       // C = 100 kb/ms
+    ///     5,                           // H = 5 nodes
+    ///     src.ebb(s, 100),             // 100 through flows
+    ///     src.ebb(s, 100),             // 100 cross flows per node
+    ///     PathScheduler::Fifo,
+    /// );
+    /// let bound = path.delay_bound(1e-9).unwrap();
+    /// assert!(bound.delay > 0.0);
+    /// ```
+    pub fn delay_bound(&self, epsilon: f64) -> Option<E2eDelayBound> {
+        let gamma_max = self.gamma_max();
+        if gamma_max <= 0.0 {
+            return None;
+        }
+        let mut best: Option<E2eDelayBound> = None;
+        let consider = |g: f64, best: &mut Option<E2eDelayBound>| {
+            if let Some(b) = self.delay_bound_at_gamma(epsilon, g) {
+                if best.as_ref().is_none_or(|cur| b.delay < cur.delay) {
+                    *best = Some(b);
+                }
+            }
+        };
+        let n = 28usize;
+        for i in 1..n {
+            consider(gamma_max * i as f64 / n as f64, &mut best);
+        }
+        let step0 = gamma_max / n as f64;
+        if let Some(cur) = best.clone() {
+            let mut lo = (cur.gamma - step0).max(gamma_max * 1e-9);
+            let mut hi = (cur.gamma + step0).min(gamma_max * (1.0 - 1e-9));
+            for _ in 0..3 {
+                let m = 16usize;
+                for i in 0..=m {
+                    consider(lo + (hi - lo) * i as f64 / m as f64, &mut best);
+                }
+                let g = best.as_ref().expect("refinement keeps a candidate").gamma;
+                let step = (hi - lo) / m as f64;
+                lo = (g - step).max(gamma_max * 1e-9);
+                hi = (g + step).min(gamma_max * (1.0 - 1e-9));
+            }
+        }
+        best
+    }
+
+    /// Delay bound under the paper's EDF deadline convention, which is
+    /// *self-referential*: per-node deadlines are set from the computed
+    /// end-to-end bound itself, `d*_0 = d^{e2e}/H` and
+    /// `d*_c = cross_over_through · d*_0` (the paper uses
+    /// `cross_over_through = 10` in Examples 1 and 3).
+    ///
+    /// Solved by damped fixed-point iteration on
+    /// `d ↦ bound(Δ = (1 − ratio)·d/H)`; returns the bound together
+    /// with the converged per-node deadline `d*_0`.
+    ///
+    /// Returns `None` for unstable paths or if the iteration fails to
+    /// converge within 200 steps (not observed in practice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)` or `cross_over_through`
+    /// is not strictly positive.
+    pub fn edf_delay_bound_fixed_point(
+        &self,
+        epsilon: f64,
+        cross_over_through: f64,
+    ) -> Option<(E2eDelayBound, f64)> {
+        assert!(
+            cross_over_through > 0.0 && cross_over_through.is_finite(),
+            "edf_delay_bound_fixed_point: deadline ratio must be positive"
+        );
+        if !self.is_stable() {
+            return None;
+        }
+        // Δ(d) = d*_0 − d*_c = (1 − ratio)·d/H.
+        let h = self.hops as f64;
+        let delta_of = |d: f64| (1.0 - cross_over_through) * d / h;
+        // Initialize from FIFO (Δ = 0).
+        let mut d = self.with_scheduler(PathScheduler::Fifo).delay_bound(epsilon)?.delay;
+        for _ in 0..200 {
+            let sched = PathScheduler::Delta(delta_of(d));
+            let b = self.with_scheduler(sched).delay_bound(epsilon)?;
+            let next = 0.5 * (d + b.delay);
+            let done = (next - d).abs() <= 1e-9 * d.max(1e-9);
+            d = next;
+            if done {
+                let d_star_0 = d / h;
+                let mut out = b;
+                out.delay = d;
+                return Some((out, d_star_0));
+            }
+        }
+        None
+    }
+}
+
+/// A tandem path whose through and cross aggregates are built from the
+/// paper's MMOO sources, with the outer optimization over the
+/// effective-bandwidth moment parameter `s`.
+///
+/// This is the object that regenerates the paper's figures: utilization
+/// is `U = (n_through + n_cross)·mean_rate/C` per the Section V
+/// convention.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MmooTandem {
+    /// The per-flow MMOO source.
+    pub source: Mmoo,
+    /// Number of through flows `N_0`.
+    pub n_through: usize,
+    /// Number of cross flows per node `N_c`.
+    pub n_cross: usize,
+    /// Link capacity `C`.
+    pub capacity: f64,
+    /// Path length `H`.
+    pub hops: usize,
+    /// Scheduler at every node.
+    pub scheduler: PathScheduler,
+}
+
+/// An end-to-end bound annotated with the moment parameter that
+/// achieved it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmooDelayBound {
+    /// The optimized bound.
+    pub bound: E2eDelayBound,
+    /// The moment parameter `s` at which it was found.
+    pub s: f64,
+}
+
+impl MmooTandem {
+    /// The source-generic view of this tandem (both aggregates share
+    /// the MMOO model); all computations delegate to it.
+    pub fn as_source_tandem(&self) -> SourceTandem<'_> {
+        SourceTandem {
+            through_source: &self.source,
+            n_through: self.n_through,
+            cross_source: &self.source,
+            n_cross: self.n_cross,
+            capacity: self.capacity,
+            hops: self.hops,
+            scheduler: self.scheduler,
+        }
+    }
+
+    /// The tandem path at a fixed moment parameter `s`, or `None` if the
+    /// EBB rates at this `s` exceed capacity.
+    pub fn path_at(&self, s: f64) -> Option<TandemPath> {
+        self.as_source_tandem().path_at(s)
+    }
+
+    /// Total utilization `(N_0 + N_c)·mean/C`.
+    pub fn utilization(&self) -> f64 {
+        (self.n_through + self.n_cross) as f64 * self.source.mean_rate() / self.capacity
+    }
+
+    /// The end-to-end delay bound, optimized over both `s` and `γ`
+    /// (log-grid over `s` with local refinement; `γ` handled inside
+    /// [`TandemPath::delay_bound`]).
+    ///
+    /// Returns `None` if the path is unstable at every `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn delay_bound(&self, epsilon: f64) -> Option<MmooDelayBound> {
+        self.as_source_tandem()
+            .delay_bound(epsilon)
+            .map(|b| MmooDelayBound { bound: b.bound, s: b.s })
+    }
+
+    /// EDF fixed-point bound (see
+    /// [`TandemPath::edf_delay_bound_fixed_point`]), optimized over `s`.
+    /// Returns the bound, the achieving `s`, and the converged per-node
+    /// through deadline `d*_0`.
+    pub fn edf_delay_bound_fixed_point(
+        &self,
+        epsilon: f64,
+        cross_over_through: f64,
+    ) -> Option<(MmooDelayBound, f64)> {
+        self.as_source_tandem()
+            .edf_delay_bound_fixed_point(epsilon, cross_over_through)
+            .map(|(b, d0)| (MmooDelayBound { bound: b.bound, s: b.s }, d0))
+    }
+
+    /// The additive node-by-node BMUX baseline of Example 3, optimized
+    /// over `s` (and internally over `γ`).
+    pub fn additive_bmux_delay(&self, epsilon: f64) -> Option<f64> {
+        self.as_source_tandem().additive_bmux_delay(epsilon)
+    }
+}

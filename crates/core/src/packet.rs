@@ -1,0 +1,113 @@
+//! Packetization: relaxing the paper's fluid-transmission assumption.
+//!
+//! The paper ignores that packet transmissions cannot be interrupted
+//! ("a reasonable assumption when packet sizes are small compared to
+//! the transmission rate. The assumption can be relaxed at the cost of
+//! additional notation"). This module supplies that notation:
+//!
+//! * **Non-preemption blocking.** At a work-conserving non-preemptive
+//!   link, an arrival with the highest precedence can still wait for
+//!   one residual packet of *any* flow already in transmission: at most
+//!   `L_max/C` extra delay per node, `H·L_max/C` end to end. The
+//!   leftover service curve weakens from `S(t)` to `[S(t) − L_max]₊`.
+//! * **Last-bit semantics.** A tagged packet of size `L` completes only
+//!   when its last bit is served; a fluid bound on the last bit's delay
+//!   covers the packet, so no further correction is needed for the
+//!   through traffic itself.
+//!
+//! Both corrections are *deterministic* and scheduler-independent, so
+//! they carry over to the probabilistic bounds unchanged: if
+//! `P(W_fluid > d) < ε`, then `P(W_packet > d + H·L_max/C) < ε`.
+
+use nc_minplus::Curve;
+
+/// The end-to-end non-preemption penalty `H·L_max/C` added to a fluid
+/// delay bound when transmissions cannot be interrupted.
+///
+/// # Panics
+///
+/// Panics if `l_max` is negative/non-finite, `capacity` is not
+/// positive/finite, or `hops` is zero.
+pub fn packetization_penalty(l_max: f64, capacity: f64, hops: usize) -> f64 {
+    assert!(l_max >= 0.0 && l_max.is_finite(), "packetization_penalty: bad packet size");
+    assert!(capacity > 0.0 && capacity.is_finite(), "packetization_penalty: bad capacity");
+    assert!(hops > 0, "packetization_penalty: need at least one hop");
+    hops as f64 * l_max / capacity
+}
+
+/// A fluid delay bound corrected for non-preemptive packet
+/// transmission: `d_packet = d_fluid + H·L_max/C`.
+pub fn packetized_delay_bound(d_fluid: f64, l_max: f64, capacity: f64, hops: usize) -> f64 {
+    assert!(d_fluid >= 0.0 && d_fluid.is_finite(), "packetized_delay_bound: bad fluid bound");
+    d_fluid + packetization_penalty(l_max, capacity, hops)
+}
+
+/// Weakens a (fluid) leftover service curve for non-preemptive
+/// transmission: `S_np(t) = [S(t) − L_max]₊` — the residual packet in
+/// service consumes up to `L_max` of the guaranteed service.
+///
+/// # Panics
+///
+/// Panics if `l_max` is negative or not finite.
+pub fn packetize_service(service: &Curve, l_max: f64) -> Curve {
+    assert!(l_max >= 0.0 && l_max.is_finite(), "packetize_service: bad packet size");
+    if l_max == 0.0 {
+        return service.clone();
+    }
+    // Subtract the constant L_max (a zero-rate token bucket) and clamp.
+    let blocking = Curve::token_bucket(0.0, l_max);
+    service.sub_clamped_closure(&blocking)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_is_linear_in_hops_and_size() {
+        assert_eq!(packetization_penalty(1.5, 100.0, 10), 0.15);
+        assert_eq!(packetization_penalty(0.0, 100.0, 10), 0.0);
+        assert_eq!(
+            packetization_penalty(3.0, 100.0, 4),
+            2.0 * packetization_penalty(3.0, 100.0, 2)
+        );
+    }
+
+    #[test]
+    fn packetized_bound_adds_penalty() {
+        let d = packetized_delay_bound(10.0, 1.5, 100.0, 10);
+        assert!((d - 10.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packetized_service_shifts_rate_latency() {
+        // [R(t−T)₊ − L]₊ = R(t − T − L/R)₊: the latency grows by L/R.
+        let s = Curve::rate_latency(10.0, 2.0);
+        let p = packetize_service(&s, 5.0);
+        assert_eq!(p.eval(2.5), 0.0); // inside the extra latency
+        assert!((p.eval(3.0) - (10.0 * (3.0 - 2.5))).abs() < 1e-9);
+        assert_eq!(p, Curve::rate_latency(10.0, 2.5));
+    }
+
+    #[test]
+    fn packetized_service_is_below_fluid() {
+        let s = Curve::rate_latency(10.0, 2.0);
+        let p = packetize_service(&s, 5.0);
+        for t in [0.0, 1.0, 2.0, 3.0, 10.0] {
+            assert!(p.eval(t) <= s.eval(t) + 1e-12);
+        }
+        // L = 0 is the identity.
+        assert_eq!(packetize_service(&s, 0.0), s);
+    }
+
+    #[test]
+    fn delay_penalty_matches_service_weakening_for_rate_service() {
+        // For a pure rate server, shifting the service by L/C adds
+        // exactly L/C to the delay bound of any envelope.
+        let env = Curve::token_bucket(2.0, 8.0);
+        let s = Curve::rate(10.0).unwrap();
+        let d_fluid = env.h_deviation(&s).unwrap();
+        let d_pack = env.h_deviation(&packetize_service(&s, 5.0)).unwrap();
+        assert!((d_pack - d_fluid - 0.5).abs() < 1e-9);
+    }
+}

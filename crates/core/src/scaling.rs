@@ -1,0 +1,183 @@
+//! Growth-order diagnostics for delay bounds as a function of the path
+//! length (the scaling claims of Section IV and Example 3).
+//!
+//! For EBB traffic the paper's network-service-curve bounds grow as
+//! `Θ(H log H)` in the path length for *every* Δ-scheduler, while the
+//! additive node-by-node method grows as `O(H³ log H)` in discrete
+//! time. This module fits empirical growth exponents so tests and
+//! experiments can verify those orders quantitatively.
+
+/// The result of a power-law fit `d(H) ≈ a·H^k` over a set of path
+/// lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthFit {
+    /// Fitted exponent `k` (log–log least squares).
+    pub exponent: f64,
+    /// Fitted prefactor `a`.
+    pub prefactor: f64,
+    /// Coefficient of determination of the log–log fit.
+    pub r_squared: f64,
+}
+
+/// Fits `d ≈ a·H^k` by least squares on `(ln H, ln d)`.
+///
+/// A pure `H log H` growth fits with an exponent slightly above 1 on
+/// finite ranges; cubic growth fits near 3. The paper's claims
+/// translate to: network-service-curve bounds ≈ 1, additive bounds ≳
+/// 2.5 on moderate ranges.
+///
+/// # Panics
+///
+/// Panics if fewer than three points are given, lengths differ, or any
+/// value is non-positive (log–log fit).
+pub fn fit_power_law(hops: &[usize], delays: &[f64]) -> GrowthFit {
+    assert!(hops.len() >= 3, "fit_power_law: need at least three points");
+    assert_eq!(hops.len(), delays.len(), "fit_power_law: length mismatch");
+    let xs: Vec<f64> = hops
+        .iter()
+        .map(|&h| {
+            assert!(h > 0, "fit_power_law: hops must be positive");
+            (h as f64).ln()
+        })
+        .collect();
+    let ys: Vec<f64> = delays
+        .iter()
+        .map(|&d| {
+            assert!(d > 0.0 && d.is_finite(), "fit_power_law: delays must be positive");
+            d.ln()
+        })
+        .collect();
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let k = sxy / sxx;
+    let lna = my - k * mx;
+    let r2 = if syy > 0.0 { (sxy * sxy) / (sxx * syy) } else { 1.0 };
+    GrowthFit { exponent: k, prefactor: lna.exp(), r_squared: r2 }
+}
+
+/// Convenience: sweeps a delay-bound function over the given hop counts
+/// and fits the growth order, skipping infeasible points.
+///
+/// Returns `None` if fewer than three hop counts produce a bound.
+pub fn growth_of(hops: &[usize], mut bound: impl FnMut(usize) -> Option<f64>) -> Option<GrowthFit> {
+    let mut hs = Vec::new();
+    let mut ds = Vec::new();
+    for &h in hops {
+        if let Some(d) = bound(h) {
+            if d.is_finite() && d > 0.0 {
+                hs.push(h);
+                ds.push(d);
+            }
+        }
+    }
+    if hs.len() < 3 {
+        return None;
+    }
+    Some(fit_power_law(&hs, &ds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::e2e::additive::additive_bmux_delay;
+    use crate::{PathScheduler, TandemPath};
+    use nc_traffic::Ebb;
+
+    #[test]
+    fn exact_power_laws_are_recovered() {
+        let hops: Vec<usize> = (1..=10).collect();
+        for k in [1.0, 2.0, 3.0] {
+            let ds: Vec<f64> = hops.iter().map(|&h| 2.5 * (h as f64).powf(k)).collect();
+            let fit = fit_power_law(&hops, &ds);
+            assert!((fit.exponent - k).abs() < 1e-9);
+            assert!((fit.prefactor - 2.5).abs() < 1e-6);
+            assert!(fit.r_squared > 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn h_log_h_fits_slightly_above_linear() {
+        let hops: Vec<usize> = (2..=30).collect();
+        let ds: Vec<f64> = hops.iter().map(|&h| h as f64 * (h as f64).ln()).collect();
+        let fit = fit_power_law(&hops, &ds);
+        assert!(fit.exponent > 1.0 && fit.exponent < 1.7, "exponent {}", fit.exponent);
+    }
+
+    #[test]
+    fn network_bounds_grow_essentially_linearly() {
+        // The paper's Θ(H log H): the fitted exponent over H = 2..20 must
+        // stay close to 1 for every scheduler.
+        let through = Ebb::new(1.0, 15.0, 0.1);
+        let cross = Ebb::new(1.0, 30.0, 0.1);
+        let hops: Vec<usize> = vec![2, 4, 6, 8, 12, 16, 20];
+        for sched in [PathScheduler::Fifo, PathScheduler::Bmux, PathScheduler::Delta(-5.0)] {
+            let fit = growth_of(&hops, |h| {
+                TandemPath::new(100.0, h, through, cross, sched)
+                    .delay_bound(1e-9)
+                    .map(|b| b.delay)
+            })
+            .expect("stable range");
+            assert!(
+                fit.exponent > 0.85 && fit.exponent < 1.45,
+                "{sched:?}: exponent {} outside the Θ(H log H) band",
+                fit.exponent
+            );
+            assert!(fit.r_squared > 0.98);
+        }
+    }
+
+    #[test]
+    fn additive_bounds_grow_much_faster_than_network_bounds() {
+        // On finite ranges the additive method's cubic term is still
+        // emerging (the ln(1/ε) term dominates per-node for small h), so
+        // the measured exponent over H = 2..20 sits near 2 and keeps
+        // rising with the range — already far above the ≈1 of the
+        // network-service-curve bounds.
+        let through = Ebb::new(1.0, 15.0, 0.1);
+        let cross = Ebb::new(1.0, 30.0, 0.1);
+        let hops: Vec<usize> = vec![2, 4, 6, 8, 12, 16, 20];
+        let additive = growth_of(&hops, |h| {
+            additive_bmux_delay(100.0, h, &through, &cross, 1e-9).map(|b| b.delay)
+        })
+        .expect("stable range");
+        let network = growth_of(&hops, |h| {
+            TandemPath::new(100.0, h, through, cross, PathScheduler::Bmux)
+                .delay_bound(1e-9)
+                .map(|b| b.delay)
+        })
+        .expect("stable range");
+        assert!(
+            additive.exponent > network.exponent + 0.6,
+            "additive exponent {} not clearly above network {}",
+            additive.exponent,
+            network.exponent
+        );
+        assert!(additive.exponent > 1.8, "additive exponent {}", additive.exponent);
+        // And the gap widens with the range: the tail-only fit is steeper.
+        let tail = growth_of(&[8, 12, 16, 20, 26, 32], |h| {
+            additive_bmux_delay(100.0, h, &through, &cross, 1e-9).map(|b| b.delay)
+        })
+        .expect("stable tail range");
+        assert!(
+            tail.exponent > additive.exponent,
+            "tail exponent {} should exceed full-range {}",
+            tail.exponent,
+            additive.exponent
+        );
+    }
+
+    #[test]
+    fn growth_of_skips_infeasible_points() {
+        // A bound that is only defined for H ≥ 3.
+        let fit = growth_of(&[1, 2, 3, 4, 5, 6], |h| {
+            (h >= 3).then(|| (h as f64).powi(2))
+        })
+        .unwrap();
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+        assert_eq!(growth_of(&[1, 2], |h| Some(h as f64)), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Leftover service curves for Δ-schedulers (Theorem 1).
+
+use crate::delta::DeltaScheduler;
+use nc_minplus::Curve;
+use nc_traffic::{DetEnvelope, ExpBound, StatEnvelope};
+
+/// A statistical leftover service curve `S_j(t; θ)` with its bounding
+/// function, as produced by Theorem 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeftoverService {
+    /// The service curve `S_j(·; θ)`.
+    pub curve: Curve,
+    /// The bounding function `ε_s(σ) = inf_{Σσ_k=σ} Σ_k ε_k(σ_k)`.
+    pub bound: ExpBound,
+    /// The free parameter `θ ≥ 0` of the family.
+    pub theta: f64,
+}
+
+/// Theorem 1: the statistical leftover service curve of flow `j` at a
+/// work-conserving link of rate `capacity` under the given Δ-scheduler,
+///
+/// `S_j(t; θ) = [ C·t − Σ_{k∈N_{−j}} G_k(t − θ + Δ_{j,k}(θ)) ]₊ · 1{t>θ}`,
+///
+/// with bounding function `ε_s(σ) = inf_{Σσ_k=σ} Σ ε_k(σ_k)` (computed in
+/// closed form by [`ExpBound::inf_convolution`]).
+///
+/// Flows with `Δ_{j,k} = −∞` never have precedence over flow `j` and are
+/// excluded. Since `Δ_{j,k}(θ) = min(Δ_{j,k}, θ) ≤ θ`, every envelope is
+/// shifted *right* by `θ − Δ_{j,k}(θ) ≥ 0`, which keeps it a valid curve.
+///
+/// If the bracket `[C·t − Σ…]₊` is not non-decreasing (possible for
+/// envelopes that activate late), the non-decreasing lower closure is
+/// used — a smaller, therefore still valid, service curve.
+///
+/// # Panics
+///
+/// Panics if `j` is out of range, `envelopes.len()` differs from the
+/// scheduler's flow count, `capacity` is not positive and finite, or
+/// `theta` is negative.
+pub fn statistical_leftover(
+    capacity: f64,
+    sched: &DeltaScheduler,
+    envelopes: &[StatEnvelope],
+    j: usize,
+    theta: f64,
+) -> LeftoverService {
+    assert!(capacity > 0.0 && capacity.is_finite(), "statistical_leftover: capacity must be positive");
+    assert!(theta >= 0.0 && !theta.is_nan(), "statistical_leftover: theta must be non-negative");
+    assert_eq!(
+        envelopes.len(),
+        sched.flows(),
+        "statistical_leftover: one envelope per flow required"
+    );
+    assert!(j < sched.flows(), "statistical_leftover: flow index out of range");
+
+    let mut cross_sum = Curve::zero();
+    let mut bounds = Vec::new();
+    for k in sched.cross(j) {
+        let capped = sched.delta_capped(j, k, theta);
+        // G_k(t − θ + Δ_{j,k}(θ)) = G_k shifted right by θ − Δ_{j,k}(θ) ≥ 0.
+        let shift = theta - capped;
+        debug_assert!(shift >= 0.0);
+        cross_sum = cross_sum.add(&envelopes[k].curve().shift_right(shift));
+        bounds.push(*envelopes[k].bound());
+    }
+    let bound = if bounds.is_empty() { ExpBound::zero() } else { ExpBound::inf_convolution(&bounds) };
+    let full_rate = Curve::rate(capacity).expect("capacity validated above");
+    let curve = full_rate.sub_clamped_closure(&cross_sum).gate(theta);
+    LeftoverService { curve, bound, theta }
+}
+
+/// The deterministic specialization (Eq. (19)): leftover service under
+/// deterministic sample-path envelopes, never violated.
+///
+/// # Panics
+///
+/// As for [`statistical_leftover`].
+pub fn deterministic_leftover(
+    capacity: f64,
+    sched: &DeltaScheduler,
+    envelopes: &[DetEnvelope],
+    j: usize,
+    theta: f64,
+) -> Curve {
+    let stat: Vec<StatEnvelope> = envelopes.iter().cloned().map(DetEnvelope::into_stat).collect();
+    let ls = statistical_leftover(capacity, sched, &stat, j, theta);
+    debug_assert!(ls.bound.is_zero());
+    ls.curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_traffic::Ebb;
+
+    fn two_flow_fifo_setup() -> (f64, DeltaScheduler, Vec<DetEnvelope>) {
+        let c = 10.0;
+        let sched = DeltaScheduler::fifo(2);
+        let envs = vec![
+            DetEnvelope::leaky_bucket(2.0, 4.0), // flow 0 (tagged)
+            DetEnvelope::leaky_bucket(3.0, 6.0), // flow 1 (cross)
+        ];
+        (c, sched, envs)
+    }
+
+    #[test]
+    fn fifo_theta_zero_is_plain_leftover() {
+        // θ = 0, Δ = 0: S(t) = [Ct − E_c(t)]₊ = [10t − (6 + 3t)]₊ = 7(t − 6/7)₊.
+        let (c, sched, envs) = two_flow_fifo_setup();
+        let s = deterministic_leftover(c, &sched, &envs, 0, 0.0);
+        assert!((s.eval(6.0 / 7.0) - 0.0).abs() < 1e-9);
+        assert!((s.eval(2.0) - (10.0 * 2.0 - 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fifo_theta_shifts_cross_envelope() {
+        // θ > 0, Δ = 0: Δ(θ) = 0, cross envelope shifted right by θ and
+        // the whole curve gated at θ.
+        let (c, sched, envs) = two_flow_fifo_setup();
+        let theta = 1.0;
+        let s = deterministic_leftover(c, &sched, &envs, 0, theta);
+        // At t ≤ θ the curve is 0.
+        assert_eq!(s.eval(1.0), 0.0);
+        // At t > θ: [10t − E_c(t − 1)]₊.
+        let t = 2.0_f64;
+        let want = (10.0 * t - (6.0 + 3.0 * (t - 1.0))).max(0.0);
+        assert!((s.eval(t) - want).abs() < 1e-9, "{} vs {want}", s.eval(t));
+    }
+
+    #[test]
+    fn bmux_ignores_theta_shift() {
+        // Δ = +∞ ⇒ Δ(θ) = θ ⇒ no shift of the cross envelope; only the
+        // gate at θ applies.
+        let c = 10.0;
+        let sched = DeltaScheduler::bmux(2, 0);
+        let envs =
+            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let s0 = deterministic_leftover(c, &sched, &envs, 0, 0.0);
+        let s1 = deterministic_leftover(c, &sched, &envs, 0, 1.5);
+        let t = 4.0;
+        assert!((s0.eval(t) - s1.eval(t)).abs() < 1e-9);
+        assert_eq!(s1.eval(1.0), 0.0); // gated
+    }
+
+    #[test]
+    fn through_priority_gets_full_link() {
+        // Δ = −∞: no cross flow interferes; S(t) = C·t gated at θ.
+        let sched = DeltaScheduler::static_priority(&[0, 1]); // flow 0 high
+        let envs =
+            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let s = deterministic_leftover(10.0, &sched, &envs, 0, 0.0);
+        assert!((s.eval(3.0) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edf_delta_interpolates_between_fifo_and_bmux() {
+        // For the tagged flow, a larger Δ (later cross arrivals still have
+        // precedence) can only reduce the leftover service.
+        let c = 10.0;
+        let envs =
+            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let theta = 2.0;
+        let mut prev_at_4 = f64::INFINITY;
+        for (d0, dc) in [(1.0, 9.0), (5.0, 5.0), (9.0, 1.0)] {
+            let sched = DeltaScheduler::edf(&[d0, dc]);
+            let s = deterministic_leftover(c, &sched, &envs, 0, theta);
+            let v = s.eval(4.0);
+            assert!(v <= prev_at_4 + 1e-9, "service must shrink as Δ grows");
+            prev_at_4 = v;
+        }
+    }
+
+    #[test]
+    fn statistical_bound_is_inf_convolution_of_cross_bounds() {
+        let sched = DeltaScheduler::fifo(3);
+        let e1 = Ebb::new(1.0, 2.0, 0.5).sample_path_envelope(0.1);
+        let e2 = Ebb::new(1.0, 3.0, 0.5).sample_path_envelope(0.1);
+        let tagged = Ebb::new(1.0, 1.0, 0.5).sample_path_envelope(0.1);
+        let envs = vec![tagged, e1.clone(), e2.clone()];
+        let ls = statistical_leftover(10.0, &sched, &envs, 0, 0.0);
+        let want = ExpBound::inf_convolution(&[*e1.bound(), *e2.bound()]);
+        assert!((ls.bound.prefactor() - want.prefactor()).abs() < 1e-9);
+        assert!((ls.bound.decay() - want.decay()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_bound_is_zero() {
+        let (c, sched, envs) = two_flow_fifo_setup();
+        let stat: Vec<StatEnvelope> = envs.into_iter().map(DetEnvelope::into_stat).collect();
+        let ls = statistical_leftover(c, &sched, &stat, 0, 0.5);
+        assert!(ls.bound.is_zero());
+    }
+
+    #[test]
+    fn theorem1_service_rate_is_capacity_minus_cross_rate() {
+        let (c, sched, envs) = two_flow_fifo_setup();
+        let s = deterministic_leftover(c, &sched, &envs, 0, 0.0);
+        assert!((s.long_run_rate() - (c - 3.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,823 @@
+//! Piecewise-linear wide-sense-increasing curves.
+
+use std::fmt;
+
+/// Relative/absolute tolerance used when validating monotonicity and
+/// merging collinear segments. Curves are numerical objects; exact
+/// equality on `f64` breakpoints is not meaningful after a few
+/// operations.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// One linear piece of a [`Curve`].
+///
+/// A segment `(x, y, slope)` defines the curve on the half-open interval
+/// `(x, x_next]` as `f(t) = y + slope · (t − x)`, where `x_next` is the
+/// start of the following segment (or `+∞` for the last segment). The
+/// value `y` is the right-limit `f(x⁺)`; the curve itself is
+/// left-continuous, so `f(x)` belongs to the *previous* segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start of the half-open interval `(x, x_next]`.
+    pub x: f64,
+    /// Value of the curve immediately after `x` (the right limit `f(x⁺)`).
+    pub y: f64,
+    /// Slope of the curve on `(x, x_next]`. Must be non-negative and
+    /// finite; infinite growth is expressed with `y = +∞` instead.
+    pub slope: f64,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(x: f64, y: f64, slope: f64) -> Self {
+        Segment { x, y, slope }
+    }
+
+    /// Value of this segment's affine extension at `t`.
+    pub(crate) fn value_at(&self, t: f64) -> f64 {
+        if self.y.is_infinite() {
+            f64::INFINITY
+        } else if self.slope == 0.0 {
+            // Avoid 0 · ∞ when t = ∞.
+            self.y
+        } else {
+            self.y + self.slope * (t - self.x)
+        }
+    }
+}
+
+/// Errors produced when constructing or combining curves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveError {
+    /// The segment list is empty or does not start at `x = 0`.
+    BadDomain,
+    /// Breakpoints are not strictly increasing.
+    UnorderedBreakpoints,
+    /// A segment has a negative or non-finite slope, or a negative value.
+    BadSegment,
+    /// The resulting function would decrease somewhere.
+    NotMonotone,
+    /// A parameter (rate, burst, latency, …) is negative or NaN.
+    BadParameter(&'static str),
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::BadDomain => write!(f, "segment list must be non-empty and start at x = 0"),
+            CurveError::UnorderedBreakpoints => {
+                write!(f, "segment breakpoints must be strictly increasing")
+            }
+            CurveError::BadSegment => {
+                write!(f, "segment has negative value, or negative/non-finite slope")
+            }
+            CurveError::NotMonotone => write!(f, "resulting curve would not be non-decreasing"),
+            CurveError::BadParameter(p) => write!(f, "parameter `{p}` must be finite and non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for CurveError {}
+
+/// A non-decreasing, left-continuous, piecewise-linear function
+/// `f : [0, ∞) → [0, ∞]` with `f(t) = 0` for `t ≤ 0`.
+///
+/// `Curve` is the working representation for arrival envelopes and
+/// service curves in the deterministic network calculus. Values may be
+/// `+∞`, which is how the burst-delay function [`Curve::delta`] expresses
+/// "everything is served after delay `d`".
+///
+/// # Example
+///
+/// ```
+/// use nc_minplus::Curve;
+///
+/// let tb = Curve::token_bucket(2.0, 3.0);
+/// assert_eq!(tb.eval(0.0), 0.0);        // f(t) = 0 for t ≤ 0
+/// assert_eq!(tb.eval(1.0), 5.0);        // b + r·t for t > 0
+/// assert_eq!(tb.eval_right(0.0), 3.0);  // the burst appears at 0⁺
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Curve {
+    /// Sorted, normalized segments; invariants documented on [`Segment`].
+    segments: Vec<Segment>,
+}
+
+impl Curve {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// The identically-zero curve.
+    pub fn zero() -> Self {
+        Curve { segments: vec![Segment::new(0.0, 0.0, 0.0)] }
+    }
+
+    /// The curve that is `+∞` for every `t > 0` (neutral element of
+    /// pointwise minimum; absorbing for addition).
+    pub fn infinite() -> Self {
+        Curve { segments: vec![Segment::new(0.0, f64::INFINITY, 0.0)] }
+    }
+
+    /// Constant-rate service curve `f(t) = r·t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::BadParameter`] if `r` is negative or not finite.
+    pub fn rate(r: f64) -> Result<Self, CurveError> {
+        check_param(r, "rate")?;
+        Ok(Curve { segments: vec![Segment::new(0.0, 0.0, r)] })
+    }
+
+    /// Token-bucket (leaky-bucket) envelope `f(t) = b + r·t` for `t > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `b` is negative or not finite. Use
+    /// [`Curve::try_token_bucket`] for a fallible version.
+    pub fn token_bucket(r: f64, b: f64) -> Self {
+        Self::try_token_bucket(r, b).expect("token_bucket: rate and burst must be finite and non-negative")
+    }
+
+    /// Fallible version of [`Curve::token_bucket`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::BadParameter`] if `r` or `b` is negative or
+    /// not finite.
+    pub fn try_token_bucket(r: f64, b: f64) -> Result<Self, CurveError> {
+        check_param(r, "rate")?;
+        check_param(b, "burst")?;
+        Ok(Curve { segments: vec![Segment::new(0.0, b, r)] })
+    }
+
+    /// Rate-latency service curve `f(t) = R·[t − T]₊`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `big_r` or `t_lat` is negative or not finite. Use
+    /// [`Curve::try_rate_latency`] for a fallible version.
+    pub fn rate_latency(big_r: f64, t_lat: f64) -> Self {
+        Self::try_rate_latency(big_r, t_lat)
+            .expect("rate_latency: rate and latency must be finite and non-negative")
+    }
+
+    /// Fallible version of [`Curve::rate_latency`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::BadParameter`] if `big_r` or `t_lat` is
+    /// negative or not finite.
+    pub fn try_rate_latency(big_r: f64, t_lat: f64) -> Result<Self, CurveError> {
+        check_param(big_r, "rate")?;
+        check_param(t_lat, "latency")?;
+        if t_lat == 0.0 {
+            return Curve::rate(big_r);
+        }
+        Ok(Curve {
+            segments: vec![Segment::new(0.0, 0.0, 0.0), Segment::new(t_lat, 0.0, big_r)],
+        })
+    }
+
+    /// Burst-delay function `δ_d`: `0` for `t ≤ d`, `+∞` for `t > d`
+    /// (Eq. (4) of the paper). `δ_0` is the neutral element of min-plus
+    /// convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or NaN.
+    pub fn delta(d: f64) -> Self {
+        assert!(d >= 0.0 && d.is_finite(), "delta: delay must be finite and non-negative");
+        if d == 0.0 {
+            Curve::infinite()
+        } else {
+            Curve {
+                segments: vec![Segment::new(0.0, 0.0, 0.0), Segment::new(d, f64::INFINITY, 0.0)],
+            }
+        }
+    }
+
+    /// Concave envelope built as the pointwise minimum of token buckets
+    /// `(rate, burst)`.
+    ///
+    /// A multi-leaky-bucket regulator `min_i (b_i + r_i t)` is the most
+    /// common concave arrival envelope in practice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::BadParameter`] if `pieces` is empty or any
+    /// rate/burst is negative or not finite.
+    pub fn concave_from_token_buckets(pieces: &[(f64, f64)]) -> Result<Self, CurveError> {
+        if pieces.is_empty() {
+            return Err(CurveError::BadParameter("pieces"));
+        }
+        let mut acc = Curve::infinite();
+        for &(r, b) in pieces {
+            acc = acc.min(&Curve::try_token_bucket(r, b)?);
+        }
+        Ok(acc)
+    }
+
+    /// Builds a curve by connecting the given `(x, y)` points with line
+    /// segments and continuing with `final_slope` after the last point.
+    ///
+    /// The first point must be at `x = 0`; its `y` value is the right
+    /// limit `f(0⁺)` (an initial burst if positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if points are unordered, decreasing, negative, or
+    /// the final slope is negative/non-finite.
+    pub fn from_points(points: &[(f64, f64)], final_slope: f64) -> Result<Self, CurveError> {
+        if points.is_empty() || points[0].0 != 0.0 {
+            return Err(CurveError::BadDomain);
+        }
+        check_param(final_slope, "final_slope")?;
+        let mut segments = Vec::with_capacity(points.len());
+        for (i, &(x, y)) in points.iter().enumerate() {
+            if y < 0.0 || x.is_nan() || y.is_nan() {
+                return Err(CurveError::BadSegment);
+            }
+            let slope = if i + 1 < points.len() {
+                let (nx, ny) = points[i + 1];
+                if nx <= x {
+                    return Err(CurveError::UnorderedBreakpoints);
+                }
+                if ny + EPS < y {
+                    return Err(CurveError::NotMonotone);
+                }
+                (ny - y) / (nx - x)
+            } else {
+                final_slope
+            };
+            segments.push(Segment::new(x, y, slope));
+        }
+        Curve::from_segments(segments)
+    }
+
+    /// Builds a curve from raw segments, validating all invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the segments do not describe a non-decreasing,
+    /// non-negative function starting at `x = 0`.
+    pub fn from_segments(segments: Vec<Segment>) -> Result<Self, CurveError> {
+        if segments.is_empty() || segments[0].x != 0.0 {
+            return Err(CurveError::BadDomain);
+        }
+        for w in segments.windows(2) {
+            if w[1].x <= w[0].x {
+                return Err(CurveError::UnorderedBreakpoints);
+            }
+            // No downward jump at the breakpoint: f((x₁)⁺) ≥ f(x₁).
+            let end = w[0].value_at(w[1].x);
+            if w[1].y + EPS * (1.0 + end.abs()) < end {
+                return Err(CurveError::NotMonotone);
+            }
+        }
+        for s in &segments {
+            if s.y < 0.0 || s.y.is_nan() {
+                return Err(CurveError::BadSegment);
+            }
+            if s.slope < 0.0 || s.slope.is_nan() || s.slope.is_infinite() {
+                return Err(CurveError::BadSegment);
+            }
+        }
+        let mut c = Curve { segments };
+        c.normalize();
+        Ok(c)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The normalized segments of this curve.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Evaluates `f(t)`. Returns `0` for `t ≤ 0`; the function is
+    /// left-continuous, so at a breakpoint the value of the *earlier*
+    /// piece is returned.
+    pub fn eval(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        // Find the segment whose interval (x, x_next] contains t:
+        // the last segment with x < t.
+        let i = match self.segments.partition_point(|s| s.x < t) {
+            0 => return 0.0, // cannot happen: segments[0].x == 0 < t
+            k => k - 1,
+        };
+        self.segments[i].value_at(t)
+    }
+
+    /// Evaluates the right limit `f(t⁺)`.
+    pub fn eval_right(&self, t: f64) -> f64 {
+        if t < 0.0 {
+            return 0.0;
+        }
+        let i = match self.segments.partition_point(|s| s.x <= t) {
+            0 => return 0.0,
+            k => k - 1,
+        };
+        self.segments[i].value_at(t)
+    }
+
+    /// The asymptotic growth rate `lim_{t→∞} f(t)/t`; `+∞` if the curve
+    /// takes infinite values.
+    pub fn long_run_rate(&self) -> f64 {
+        let last = self.segments.last().expect("curve has at least one segment");
+        if last.y.is_infinite() {
+            f64::INFINITY
+        } else {
+            last.slope
+        }
+    }
+
+    /// Whether the curve is finite everywhere (never `+∞`).
+    pub fn is_finite(&self) -> bool {
+        self.segments.iter().all(|s| s.y.is_finite())
+    }
+
+    /// Whether the curve is convex on `[0, ∞)` (no initial burst, slopes
+    /// non-decreasing, and no upward jumps except a terminal jump to `+∞`).
+    pub fn is_convex(&self) -> bool {
+        // An initial finite jump at 0⁺ (a burst) breaks convexity, since
+        // f(0) = 0 by convention. A jump straight to +∞ is δ₀, which is convex.
+        let s0 = &self.segments[0];
+        if s0.y > EPS && s0.y.is_finite() {
+            return false;
+        }
+        for w in self.segments.windows(2) {
+            let end = w[0].value_at(w[1].x);
+            if w[1].y.is_infinite() {
+                continue; // terminal jump to ∞ is allowed ("infinite slope")
+            }
+            if w[1].y > end + EPS * (1.0 + end.abs()) {
+                return false; // interior jump
+            }
+            if w[1].slope + EPS < w[0].slope {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the curve is concave on `(0, ∞)` (slopes non-increasing;
+    /// an initial burst at `0⁺` is allowed, interior jumps are not).
+    pub fn is_concave(&self) -> bool {
+        if !self.is_finite() {
+            return false;
+        }
+        for w in self.segments.windows(2) {
+            let end = w[0].value_at(w[1].x);
+            if w[1].y > end + EPS * (1.0 + end.abs()) {
+                return false;
+            }
+            if w[1].slope > w[0].slope + EPS {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The lower pseudo-inverse `f⁻¹(y) = inf { t ≥ 0 : f(t) ≥ y }`.
+    ///
+    /// Returns `None` if `f` never reaches `y`.
+    pub fn pseudo_inverse(&self, y: f64) -> Option<f64> {
+        if y <= 0.0 {
+            return Some(0.0);
+        }
+        let mut prev_end = 0.0_f64; // f(x_i) = left limit entering segment i
+        for (i, s) in self.segments.iter().enumerate() {
+            // Jump at x_i: f(x_i) = prev_end < y ≤ f(x_i⁺) = s.y ⇒ inf = x_i.
+            if s.y >= y {
+                if prev_end >= y {
+                    // Already reached strictly inside the previous piece —
+                    // handled below before we got here; only possible at i = 0.
+                    return Some(s.x);
+                }
+                return Some(s.x);
+            }
+            let end_x = self.segments.get(i + 1).map(|n| n.x);
+            match end_x {
+                Some(ex) => {
+                    let end_v = s.value_at(ex);
+                    if end_v >= y {
+                        // Reached strictly inside (x_i, ex].
+                        return Some(s.x + (y - s.y) / s.slope);
+                    }
+                    prev_end = end_v;
+                }
+                None => {
+                    if s.slope > 0.0 {
+                        return Some(s.x + (y - s.y) / s.slope);
+                    }
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Transformations
+    // ------------------------------------------------------------------
+
+    /// Shifts the curve to the right: `t ↦ f(t − d)` (equivalently, the
+    /// min-plus convolution with `δ_d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is negative or NaN.
+    pub fn shift_right(&self, d: f64) -> Self {
+        assert!(d >= 0.0 && d.is_finite(), "shift_right: d must be finite and non-negative");
+        if d == 0.0 {
+            return self.clone();
+        }
+        let mut segments = Vec::with_capacity(self.segments.len() + 1);
+        segments.push(Segment::new(0.0, 0.0, 0.0));
+        for s in &self.segments {
+            segments.push(Segment::new(s.x + d, s.y, s.slope));
+        }
+        let mut c = Curve { segments };
+        c.normalize();
+        c
+    }
+
+    /// Adds a constant to the curve on `t > 0`: `t ↦ f(t) + c` for `t > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is negative or NaN.
+    pub fn add_constant(&self, c: f64) -> Self {
+        assert!(c >= 0.0 && !c.is_nan(), "add_constant: c must be non-negative");
+        if c == 0.0 {
+            return self.clone();
+        }
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| Segment::new(s.x, s.y + c, s.slope))
+            .collect();
+        let mut out = Curve { segments };
+        out.normalize();
+        out
+    }
+
+    /// Scales values: `t ↦ a·f(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is negative or not finite.
+    pub fn scale_y(&self, a: f64) -> Self {
+        assert!(a >= 0.0 && a.is_finite(), "scale_y: factor must be finite and non-negative");
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| Segment::new(s.x, s.y * a, s.slope * a))
+            .collect();
+        let mut out = Curve { segments };
+        out.normalize();
+        out
+    }
+
+    /// Scales time: `t ↦ f(t / a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not strictly positive and finite.
+    pub fn scale_x(&self, a: f64) -> Self {
+        assert!(a > 0.0 && a.is_finite(), "scale_x: factor must be finite and positive");
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| Segment::new(s.x * a, s.y, s.slope / a))
+            .collect();
+        let mut out = Curve { segments };
+        out.normalize();
+        out
+    }
+
+    /// Gates the curve by the indicator `1{t > θ}`: the result is `0` on
+    /// `(0, θ]` and `f(t)` on `(θ, ∞)`.
+    ///
+    /// This is the `I(t > θ)` factor of Theorem 1 of the paper. Since `f`
+    /// is non-negative and non-decreasing, the gated curve is again a
+    /// valid curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or NaN.
+    pub fn gate(&self, theta: f64) -> Self {
+        assert!(theta >= 0.0 && !theta.is_nan(), "gate: theta must be non-negative");
+        if theta == 0.0 {
+            return self.clone();
+        }
+        let mut segments = vec![Segment::new(0.0, 0.0, 0.0)];
+        // Value and slope of f just after θ.
+        let i = match self.segments.partition_point(|s| s.x <= theta) {
+            0 => 0,
+            k => k - 1,
+        };
+        let s = &self.segments[i];
+        segments.push(Segment::new(theta, s.value_at(theta).max(0.0), s.slope));
+        for s in &self.segments[i + 1..] {
+            segments.push(Segment::new(s.x, s.y, s.slope));
+        }
+        let mut c = Curve { segments };
+        c.normalize();
+        c
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    /// Constructs a curve from segments produced by internal algorithms,
+    /// normalizing without re-validating monotonicity (callers guarantee
+    /// it up to floating-point noise, which normalization absorbs).
+    pub(crate) fn from_raw_unchecked(segments: Vec<Segment>) -> Self {
+        debug_assert!(!segments.is_empty() && segments[0].x == 0.0);
+        let mut c = Curve { segments };
+        c.normalize();
+        c
+    }
+
+    /// Merges collinear neighbours, clamps tiny negatives to zero, and
+    /// truncates everything after the first `+∞` segment.
+    fn normalize(&mut self) {
+        // Truncate after first infinite value (the function stays +∞).
+        if let Some(pos) = self.segments.iter().position(|s| s.y.is_infinite()) {
+            self.segments.truncate(pos + 1);
+            let s = &mut self.segments[pos];
+            s.y = f64::INFINITY;
+            s.slope = 0.0;
+        }
+        for s in &mut self.segments {
+            if s.y < 0.0 {
+                debug_assert!(s.y > -1e-6, "normalize: significantly negative value {}", s.y);
+                s.y = 0.0;
+            }
+            if s.slope < 0.0 {
+                debug_assert!(s.slope > -1e-6, "normalize: significantly negative slope {}", s.slope);
+                s.slope = 0.0;
+            }
+        }
+        let mut out: Vec<Segment> = Vec::with_capacity(self.segments.len());
+        for s in self.segments.drain(..) {
+            if let Some(prev) = out.last() {
+                let end = prev.value_at(s.x);
+                let scale = 1.0 + end.abs();
+                let collinear = (prev.slope - s.slope).abs() <= EPS * (1.0 + prev.slope.abs())
+                    && (end - s.y).abs() <= EPS * scale
+                    || (prev.y.is_infinite() && s.y.is_infinite());
+                if collinear {
+                    continue; // prev already covers this piece
+                }
+            }
+            out.push(s);
+        }
+        self.segments = out;
+    }
+
+    /// All breakpoint abscissae of the curve (starting with 0).
+    pub(crate) fn xs(&self) -> impl Iterator<Item = f64> + '_ {
+        self.segments.iter().map(|s| s.x)
+    }
+
+    /// Slope of the piece active just after `t`.
+    pub(crate) fn slope_right(&self, t: f64) -> f64 {
+        let i = match self.segments.partition_point(|s| s.x <= t) {
+            0 => 0,
+            k => k - 1,
+        };
+        let s = &self.segments[i];
+        if s.y.is_infinite() {
+            0.0
+        } else {
+            s.slope
+        }
+    }
+}
+
+impl Default for Curve {
+    fn default() -> Self {
+        Curve::zero()
+    }
+}
+
+impl fmt::Display for Curve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Curve[")?;
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "({}, {}, {})", s.x, s.y, s.slope)?;
+        }
+        write!(f, "]")
+    }
+}
+
+fn check_param(v: f64, name: &'static str) -> Result<(), CurveError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(())
+    } else {
+        Err(CurveError::BadParameter(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_zero_everywhere() {
+        let z = Curve::zero();
+        assert_eq!(z.eval(-1.0), 0.0);
+        assert_eq!(z.eval(0.0), 0.0);
+        assert_eq!(z.eval(100.0), 0.0);
+        assert_eq!(z.long_run_rate(), 0.0);
+    }
+
+    #[test]
+    fn token_bucket_values() {
+        let tb = Curve::token_bucket(2.0, 3.0);
+        assert_eq!(tb.eval(0.0), 0.0);
+        assert_eq!(tb.eval_right(0.0), 3.0);
+        assert_eq!(tb.eval(1.0), 5.0);
+        assert_eq!(tb.eval(10.0), 23.0);
+        assert!(tb.is_concave());
+        assert!(!tb.is_convex());
+        assert_eq!(tb.long_run_rate(), 2.0);
+    }
+
+    #[test]
+    fn rate_latency_values() {
+        let rl = Curve::rate_latency(4.0, 2.0);
+        assert_eq!(rl.eval(1.0), 0.0);
+        assert_eq!(rl.eval(2.0), 0.0);
+        assert_eq!(rl.eval(3.0), 4.0);
+        assert!(rl.is_convex());
+        assert!(!rl.is_concave() || rl.segments().len() == 1);
+        assert_eq!(rl.long_run_rate(), 4.0);
+    }
+
+    #[test]
+    fn zero_latency_rate_latency_is_rate() {
+        assert_eq!(Curve::rate_latency(4.0, 0.0), Curve::rate(4.0).unwrap());
+    }
+
+    #[test]
+    fn delta_values() {
+        let d = Curve::delta(3.0);
+        assert_eq!(d.eval(3.0), 0.0);
+        assert_eq!(d.eval(3.0 + 1e-6), f64::INFINITY);
+        assert!(d.is_convex());
+        assert!(!d.is_finite());
+        assert_eq!(d.long_run_rate(), f64::INFINITY);
+    }
+
+    #[test]
+    fn delta_zero_is_infinite_after_zero() {
+        let d = Curve::delta(0.0);
+        assert_eq!(d.eval(0.0), 0.0);
+        assert_eq!(d.eval(1e-12), f64::INFINITY);
+    }
+
+    #[test]
+    fn eval_left_continuity_at_breakpoint() {
+        // Jump of size 5 at t = 2.
+        let c = Curve::from_segments(vec![
+            Segment::new(0.0, 0.0, 1.0),
+            Segment::new(2.0, 7.0, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(c.eval(2.0), 2.0); // left limit
+        assert_eq!(c.eval_right(2.0), 7.0);
+        assert_eq!(c.eval(3.0), 8.0);
+    }
+
+    #[test]
+    fn from_segments_rejects_decreasing() {
+        let err = Curve::from_segments(vec![
+            Segment::new(0.0, 5.0, 0.0),
+            Segment::new(1.0, 3.0, 0.0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, CurveError::NotMonotone);
+    }
+
+    #[test]
+    fn from_segments_rejects_unordered() {
+        let err = Curve::from_segments(vec![
+            Segment::new(0.0, 0.0, 1.0),
+            Segment::new(2.0, 2.0, 1.0),
+            Segment::new(1.0, 3.0, 1.0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, CurveError::UnorderedBreakpoints);
+    }
+
+    #[test]
+    fn from_segments_rejects_bad_domain() {
+        assert_eq!(Curve::from_segments(vec![]).unwrap_err(), CurveError::BadDomain);
+        let err = Curve::from_segments(vec![Segment::new(1.0, 0.0, 1.0)]).unwrap_err();
+        assert_eq!(err, CurveError::BadDomain);
+    }
+
+    #[test]
+    fn from_points_connects_dots() {
+        let c = Curve::from_points(&[(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)], 1.0).unwrap();
+        assert_eq!(c.eval(0.5), 1.0);
+        assert_eq!(c.eval(2.0), 2.0);
+        assert_eq!(c.eval(4.0), 3.0);
+    }
+
+    #[test]
+    fn pseudo_inverse_basic() {
+        let rl = Curve::rate_latency(4.0, 2.0);
+        assert_eq!(rl.pseudo_inverse(0.0), Some(0.0));
+        assert_eq!(rl.pseudo_inverse(4.0), Some(3.0));
+        assert_eq!(rl.pseudo_inverse(8.0), Some(4.0));
+        let z = Curve::zero();
+        assert_eq!(z.pseudo_inverse(1.0), None);
+    }
+
+    #[test]
+    fn pseudo_inverse_at_jump() {
+        let d = Curve::delta(3.0);
+        // δ₃ reaches any finite positive level just after t = 3.
+        assert_eq!(d.pseudo_inverse(10.0), Some(3.0));
+        // Token bucket: the burst at 0⁺ absorbs small levels.
+        let tb = Curve::token_bucket(1.0, 5.0);
+        assert_eq!(tb.pseudo_inverse(4.0), Some(0.0));
+        assert_eq!(tb.pseudo_inverse(5.0), Some(0.0));
+        assert_eq!(tb.pseudo_inverse(6.0), Some(1.0));
+    }
+
+    #[test]
+    fn shift_right_matches_eval() {
+        let tb = Curve::token_bucket(2.0, 3.0);
+        let sh = tb.shift_right(1.5);
+        assert_eq!(sh.eval(1.0), 0.0);
+        assert_eq!(sh.eval(1.5), 0.0);
+        assert!((sh.eval(2.5) - tb.eval(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_zeroes_prefix() {
+        let r = Curve::rate(2.0).unwrap();
+        let g = r.gate(3.0);
+        assert_eq!(g.eval(3.0), 0.0);
+        assert!((g.eval(4.0) - 8.0).abs() < 1e-12);
+        assert_eq!(g.eval_right(3.0), 6.0);
+    }
+
+    #[test]
+    fn gate_zero_is_identity() {
+        let tb = Curve::token_bucket(1.0, 1.0);
+        assert_eq!(tb.gate(0.0), tb);
+    }
+
+    #[test]
+    fn add_constant_and_scale() {
+        let r = Curve::rate(1.0).unwrap();
+        let c = r.add_constant(2.0);
+        assert_eq!(c.eval(3.0), 5.0);
+        assert_eq!(c.eval(0.0), 0.0);
+        let s = c.scale_y(2.0);
+        assert_eq!(s.eval(3.0), 10.0);
+        let x = r.scale_x(2.0); // f(t/2)
+        assert_eq!(x.eval(4.0), 2.0);
+    }
+
+    #[test]
+    fn normalize_merges_collinear() {
+        let c = Curve::from_segments(vec![
+            Segment::new(0.0, 0.0, 1.0),
+            Segment::new(1.0, 1.0, 1.0),
+            Segment::new(2.0, 2.0, 1.0),
+        ])
+        .unwrap();
+        assert_eq!(c.segments().len(), 1);
+    }
+
+    #[test]
+    fn concave_from_token_buckets_is_min() {
+        // min(10t + 1, t + 5): crossing at t = 4/9.
+        let c = Curve::concave_from_token_buckets(&[(10.0, 1.0), (1.0, 5.0)]).unwrap();
+        assert!(c.is_concave());
+        assert!((c.eval(0.1) - 2.0).abs() < 1e-9);
+        assert!((c.eval(1.0) - 6.0).abs() < 1e-9);
+        assert_eq!(c.long_run_rate(), 1.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = format!("{}", Curve::token_bucket(1.0, 2.0));
+        assert!(s.contains("Curve["));
+    }
+}

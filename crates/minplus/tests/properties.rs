@@ -1,0 +1,226 @@
+//! Property-based tests for the min-plus algebra.
+//!
+//! These exercise the algebraic laws that the network calculus relies on:
+//! commutativity/associativity of ∗, distribution over min, monotonicity,
+//! and the semiring identities with δ₀ (neutral) and the zero curve
+//! (absorbing).
+
+use nc_minplus::{Curve, SampledCurve};
+use proptest::prelude::*;
+
+/// Strategy: a random rate-latency curve (convex).
+fn rate_latency() -> impl Strategy<Value = Curve> {
+    (0.01f64..50.0, 0.0f64..20.0).prop_map(|(r, t)| Curve::rate_latency(r, t))
+}
+
+/// Strategy: a random concave envelope (min of up to 3 token buckets).
+fn concave() -> impl Strategy<Value = Curve> {
+    prop::collection::vec((0.01f64..50.0, 0.0f64..100.0), 1..4)
+        .prop_map(|v| Curve::concave_from_token_buckets(&v).unwrap())
+}
+
+/// Strategy: a random convex service curve (rate-latency or burst-delay).
+fn convex() -> impl Strategy<Value = Curve> {
+    prop_oneof![
+        rate_latency(),
+        (0.0f64..20.0).prop_map(Curve::delta),
+        Just(Curve::zero()),
+    ]
+}
+
+/// Strategy: mixed curve shapes.
+fn any_curve() -> impl Strategy<Value = Curve> {
+    prop_oneof![concave(), convex()]
+}
+
+/// Points at which curves are compared.
+const PROBE: [f64; 9] = [0.0, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 200.0];
+
+fn assert_close(a: f64, b: f64, ctx: &str) {
+    if a.is_infinite() || b.is_infinite() {
+        assert_eq!(a.is_infinite(), b.is_infinite(), "{ctx}: {a} vs {b}");
+    } else {
+        let tol = 1e-6 * (1.0 + a.abs().max(b.abs()));
+        assert!((a - b).abs() <= tol, "{ctx}: {a} vs {b}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn convolution_commutes(a in any_curve(), b in any_curve()) {
+        let ab = a.convolve(&b);
+        let ba = b.convolve(&a);
+        for t in PROBE {
+            assert_close(ab.eval(t), ba.eval(t), &format!("(a∗b)(t)≠(b∗a)(t) at t={t}"));
+        }
+    }
+
+    #[test]
+    fn convolution_associates_on_convex(a in convex(), b in convex(), c in convex()) {
+        let l = a.convolve(&b).convolve(&c);
+        let r = a.convolve(&b.convolve(&c));
+        for t in PROBE {
+            assert_close(l.eval(t), r.eval(t), &format!("associativity at t={t}"));
+        }
+    }
+
+    #[test]
+    fn convolution_is_dominated_by_operands(a in any_curve(), b in any_curve()) {
+        // (f ∗ g)(t) ≤ min(f(t) + g(0⁺), f(0⁺) + g(t)) ≤ f(t) + g(t) additive…
+        // The simplest universal law: f ∗ g ≤ f (taking s = t) up to g(0) = 0,
+        // and f ∗ g ≤ g likewise.
+        let c = a.convolve(&b);
+        for t in PROBE {
+            let v = c.eval(t);
+            prop_assert!(v <= a.eval(t) + 1e-6 * (1.0 + a.eval(t).abs()) || a.eval(t).is_infinite());
+            prop_assert!(v <= b.eval(t) + 1e-6 * (1.0 + b.eval(t).abs()) || b.eval(t).is_infinite());
+        }
+    }
+
+    #[test]
+    fn delta_zero_is_identity(a in any_curve()) {
+        let c = a.convolve(&Curve::delta(0.0));
+        for t in PROBE {
+            assert_close(c.eval(t), a.eval(t), &format!("δ₀ identity at t={t}"));
+        }
+    }
+
+    #[test]
+    fn delta_shift_composes(a in any_curve(), d1 in 0.0f64..10.0, d2 in 0.0f64..10.0) {
+        let l = a.shift_right(d1).shift_right(d2);
+        let r = a.shift_right(d1 + d2);
+        for t in PROBE {
+            assert_close(l.eval(t), r.eval(t), &format!("shift composition at t={t}"));
+        }
+    }
+
+    #[test]
+    fn min_is_commutative_and_lower(a in any_curve(), b in any_curve()) {
+        let m = a.min(&b);
+        let m2 = b.min(&a);
+        for t in PROBE {
+            assert_close(m.eval(t), m2.eval(t), "min commutes");
+            assert_close(m.eval(t), a.eval(t).min(b.eval(t)), &format!("min value at t={t}"));
+        }
+    }
+
+    #[test]
+    fn max_is_pointwise(a in any_curve(), b in any_curve()) {
+        let m = a.max(&b);
+        for t in PROBE {
+            assert_close(m.eval(t), a.eval(t).max(b.eval(t)), &format!("max value at t={t}"));
+        }
+    }
+
+    #[test]
+    fn add_is_pointwise(a in concave(), b in concave()) {
+        let s = a.add(&b);
+        for t in PROBE {
+            assert_close(s.eval(t), a.eval(t) + b.eval(t), &format!("add value at t={t}"));
+        }
+    }
+
+    #[test]
+    fn sub_clamped_of_rate_minus_concave(c in 10.0f64..100.0, g in concave()) {
+        // The Theorem-1 shape [Ct − G(t)]₊ with C above the long-run rate.
+        prop_assume!(g.long_run_rate() < c);
+        let rate = Curve::rate(c).unwrap();
+        let s = rate.sub_clamped(&g).unwrap();
+        for t in PROBE {
+            assert_close(s.eval(t), (c * t - g.eval(t)).max(0.0), &format!("leftover at t={t}"));
+        }
+    }
+
+    #[test]
+    fn gate_matches_indicator(a in any_curve(), theta in 0.0f64..20.0) {
+        let gated = a.gate(theta);
+        for t in PROBE {
+            let want = if t > theta { a.eval(t) } else { 0.0 };
+            assert_close(gated.eval(t), want, &format!("gate at t={t}, θ={theta}"));
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_galois(a in concave(), y in 0.0f64..500.0) {
+        // f(t) ≥ y for every t strictly beyond the pseudo-inverse.
+        if let Some(t0) = a.pseudo_inverse(y) {
+            let t = t0 + 1e-6;
+            prop_assert!(a.eval(t) >= y - 1e-6 * (1.0 + y));
+        }
+    }
+
+    #[test]
+    fn h_deviation_is_sound(f in concave(), g in convex()) {
+        // If h = h_deviation, then f(t) ≤ g(t + h + ε) for all probed t.
+        if let Some(h) = f.h_deviation(&g) {
+            for t in PROBE {
+                let lhs = f.eval(t);
+                let rhs = g.eval(t + h + 1e-6);
+                prop_assert!(
+                    lhs <= rhs + 1e-5 * (1.0 + lhs.abs()) || rhs.is_infinite(),
+                    "delay bound violated at t={t}: f={lhs}, g(t+h)={rhs}, h={h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v_deviation_is_sound(f in concave(), g in convex()) {
+        if let Some(v) = f.v_deviation(&g) {
+            for t in PROBE {
+                let d = f.eval(t) - g.eval(t);
+                prop_assert!(d <= v + 1e-6 * (1.0 + v), "backlog bound violated at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_agrees_with_grid(a in any_curve(), b in any_curve()) {
+        // The exact/sampled hybrid must agree with brute-force grid
+        // convolution wherever both are defined.
+        let exact = a.convolve(&b);
+        let dt = 0.25;
+        let n = 128;
+        let ga = SampledCurve::from_curve(&a, dt, n);
+        let gb = SampledCurve::from_curve(&b, dt, n);
+        let grid = ga.convolve(&gb);
+        for i in 0..n {
+            let t = i as f64 * dt;
+            let e = exact.eval(t);
+            let g = grid.eval(i);
+            if e.is_infinite() || g.is_infinite() {
+                continue; // jump position is grid-quantized
+            }
+            // Grid search restricts the infimum to grid points: grid ≥ exact,
+            // within one cell of growth.
+            prop_assert!(g >= e - 1e-6 * (1.0 + e.abs()), "grid {g} < exact {e} at t={t}");
+        }
+    }
+
+    #[test]
+    fn deconvolve_is_sound(f in concave(), g in prop_oneof![rate_latency()]) {
+        // (f ⊘ g)(t − s) ≥ f(t) − g(s)… equivalently for all t, u:
+        // out(t) ≥ f(t + u) − g(u).
+        if let Ok(Some(out)) = f.deconvolve(&g) {
+            for t in PROBE {
+                for u in PROBE {
+                    let lhs = f.eval(t + u) - g.eval(u);
+                    // The curve convention pins out(0) = 0; the deconvolution
+                    // value at 0 lives in the right limit.
+                    let rhs = if t == 0.0 { out.eval_right(0.0) } else { out.eval(t) };
+                    prop_assert!(
+                        rhs >= lhs - 1e-5 * (1.0 + lhs.abs()),
+                        "deconv unsound at t={t}, u={u}: {rhs} < {lhs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_rate_of_convolution_is_min(a in concave(), b in concave()) {
+        let c = a.convolve(&b);
+        let want = a.long_run_rate().min(b.long_run_rate());
+        assert_close(c.long_run_rate(), want, "long-run rate of convolution");
+    }
+}

@@ -1,0 +1,108 @@
+//! Tandem-level scheduler selection.
+
+use crate::node::NodePolicy;
+
+/// The scheduler used at every node of a [`TandemSim`](crate::TandemSim),
+/// in the two-class (through vs. cross) setting of the paper's Fig. 1.
+///
+/// The first four are Δ-schedulers with
+/// `Δ_{0,c} ∈ {0, +∞, −∞, d*_0 − d*_c}` respectively; GPS is not a
+/// Δ-scheduler and has no bound in the paper's framework — simulating it
+/// illustrates where the analysis boundary lies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// First-in-first-out across both classes.
+    Fifo,
+    /// Through traffic at strictly *lower* priority (blind
+    /// multiplexing).
+    Bmux,
+    /// Through traffic at strictly *higher* priority.
+    ThroughPriority,
+    /// EDF with per-node relative deadlines (slots).
+    Edf {
+        /// Deadline of through traffic at each node.
+        d_through: f64,
+        /// Deadline of cross traffic at each node.
+        d_cross: f64,
+    },
+    /// Generalized processor sharing with the given weights.
+    Gps {
+        /// Weight of the through class.
+        w_through: f64,
+        /// Weight of the cross class.
+        w_cross: f64,
+    },
+    /// Self-clocked fair queueing with the given weights (the packet
+    /// approximation of GPS; also not a Δ-scheduler).
+    Scfq {
+        /// Weight of the through class.
+        w_through: f64,
+        /// Weight of the cross class.
+        w_cross: f64,
+    },
+}
+
+impl SchedulerKind {
+    /// The per-node two-class policy (class 0 = through, 1 = cross).
+    pub fn node_policy(&self) -> NodePolicy {
+        match *self {
+            SchedulerKind::Fifo => NodePolicy::Fifo,
+            SchedulerKind::Bmux => NodePolicy::StaticPriority(vec![1, 0]),
+            SchedulerKind::ThroughPriority => NodePolicy::StaticPriority(vec![0, 1]),
+            SchedulerKind::Edf { d_through, d_cross } => NodePolicy::Edf(vec![d_through, d_cross]),
+            SchedulerKind::Gps { w_through, w_cross } => NodePolicy::Gps(vec![w_through, w_cross]),
+            SchedulerKind::Scfq { w_through, w_cross } => {
+                NodePolicy::Scfq(vec![w_through, w_cross])
+            }
+        }
+    }
+
+    /// The scheduler constant `Δ_{0,c}` for Δ-schedulers, `None` for GPS.
+    pub fn delta(&self) -> Option<f64> {
+        match *self {
+            SchedulerKind::Fifo => Some(0.0),
+            SchedulerKind::Bmux => Some(f64::INFINITY),
+            SchedulerKind::ThroughPriority => Some(f64::NEG_INFINITY),
+            SchedulerKind::Edf { d_through, d_cross } => Some(d_through - d_cross),
+            SchedulerKind::Gps { .. } | SchedulerKind::Scfq { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_match_paper_definitions() {
+        assert_eq!(SchedulerKind::Fifo.delta(), Some(0.0));
+        assert_eq!(SchedulerKind::Bmux.delta(), Some(f64::INFINITY));
+        assert_eq!(SchedulerKind::ThroughPriority.delta(), Some(f64::NEG_INFINITY));
+        assert_eq!(
+            SchedulerKind::Edf { d_through: 3.0, d_cross: 8.0 }.delta(),
+            Some(-5.0)
+        );
+        assert_eq!(SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 }.delta(), None);
+        assert_eq!(SchedulerKind::Scfq { w_through: 1.0, w_cross: 1.0 }.delta(), None);
+    }
+
+    #[test]
+    fn policies_have_two_classes() {
+        for k in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Bmux,
+            SchedulerKind::ThroughPriority,
+            SchedulerKind::Edf { d_through: 1.0, d_cross: 2.0 },
+            SchedulerKind::Gps { w_through: 1.0, w_cross: 2.0 },
+            SchedulerKind::Scfq { w_through: 1.0, w_cross: 2.0 },
+        ] {
+            match k.node_policy() {
+                NodePolicy::Fifo => {}
+                NodePolicy::StaticPriority(v) => assert_eq!(v.len(), 2),
+                NodePolicy::Edf(v) => assert_eq!(v.len(), 2),
+                NodePolicy::Gps(v) => assert_eq!(v.len(), 2),
+                NodePolicy::Scfq(v) => assert_eq!(v.len(), 2),
+            }
+        }
+    }
+}

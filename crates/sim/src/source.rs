@@ -1,0 +1,377 @@
+//! Slotted traffic sources.
+
+use nc_traffic::{CbrSource, Mmoo, Mmp, PoissonBatch};
+use rand::{Rng, RngExt};
+
+/// A slotted traffic source: each call to [`Source::pull`] returns the
+/// amount of data emitted in the next slot.
+///
+/// The trait is object-safe (`&mut dyn Rng` rather than a generic
+/// parameter) so heterogeneous source mixes can be boxed.
+pub trait Source {
+    /// Data emitted in the next slot.
+    fn pull(&mut self, rng: &mut dyn Rng) -> f64;
+}
+
+/// Simulation state of one MMOO flow (see
+/// [`nc_traffic::Mmoo`] for the analytical model).
+#[derive(Debug, Clone)]
+pub struct MmooState {
+    model: Mmoo,
+    on: bool,
+}
+
+impl MmooState {
+    /// Creates a flow in a fixed initial state.
+    pub fn with_state(model: Mmoo, on: bool) -> Self {
+        MmooState { model, on }
+    }
+
+    /// Creates a flow whose initial state is drawn from the stationary
+    /// distribution (the analytical envelopes assume stationarity).
+    pub fn stationary<R: Rng + ?Sized>(model: Mmoo, rng: &mut R) -> Self {
+        let on = rng.random::<f64>() < model.stationary_on();
+        MmooState { model, on }
+    }
+
+    /// Whether the flow is currently ON.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// The underlying analytical model.
+    pub fn model(&self) -> &Mmoo {
+        &self.model
+    }
+
+    /// Advances one slot: emits `peak` if ON, then performs the state
+    /// transition.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let emitted = if self.on { self.model.peak() } else { 0.0 };
+        let stay = if self.on { self.model.p22() } else { self.model.p11() };
+        if rng.random::<f64>() >= stay {
+            self.on = !self.on;
+        }
+        emitted
+    }
+}
+
+impl Source for MmooState {
+    fn pull(&mut self, rng: &mut dyn Rng) -> f64 {
+        self.step(rng)
+    }
+}
+
+/// An aggregate of independent MMOO flows, stepped jointly.
+#[derive(Debug, Clone)]
+pub struct MmooAggregate {
+    flows: Vec<MmooState>,
+}
+
+impl MmooAggregate {
+    /// `n` i.i.d. stationary flows of the given model.
+    pub fn stationary<R: Rng + ?Sized>(model: Mmoo, n: usize, rng: &mut R) -> Self {
+        MmooAggregate {
+            flows: (0..n).map(|_| MmooState::stationary(model, rng)).collect(),
+        }
+    }
+
+    /// Number of flows in the aggregate.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the aggregate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Number of flows currently ON.
+    pub fn on_count(&self) -> usize {
+        self.flows.iter().filter(|f| f.is_on()).count()
+    }
+}
+
+impl Source for MmooAggregate {
+    fn pull(&mut self, rng: &mut dyn Rng) -> f64 {
+        self.flows.iter_mut().map(|f| f.step(rng)).sum()
+    }
+}
+
+impl Source for CbrSource {
+    fn pull(&mut self, _rng: &mut dyn Rng) -> f64 {
+        self.rate()
+    }
+}
+
+/// Simulation state of one general Markov-modulated flow (see
+/// [`nc_traffic::Mmp`] for the analytical model).
+#[derive(Debug, Clone)]
+pub struct MmpState {
+    model: Mmp,
+    state: usize,
+}
+
+impl MmpState {
+    /// Creates a flow in a fixed initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn with_state(model: Mmp, state: usize) -> Self {
+        assert!(state < model.states(), "MmpState: state out of range");
+        MmpState { model, state }
+    }
+
+    /// Creates a flow whose initial state is drawn from the stationary
+    /// distribution.
+    pub fn stationary<R: Rng + ?Sized>(model: Mmp, rng: &mut R) -> Self {
+        let pi = model.stationary();
+        let u = rng.random::<f64>();
+        let mut acc = 0.0;
+        let mut state = pi.len() - 1;
+        for (i, &p) in pi.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                state = i;
+                break;
+            }
+        }
+        MmpState { model, state }
+    }
+
+    /// Current modulation state.
+    pub fn state(&self) -> usize {
+        self.state
+    }
+
+    /// Advances one slot: emits the current state's rate, then performs
+    /// the state transition.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let emitted = self.model.rates()[self.state];
+        let u = rng.random::<f64>();
+        let row = &self.model.transition()[self.state];
+        let mut acc = 0.0;
+        for (j, &p) in row.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                self.state = j;
+                break;
+            }
+        }
+        emitted
+    }
+}
+
+impl Source for MmpState {
+    fn pull(&mut self, rng: &mut dyn Rng) -> f64 {
+        self.step(rng)
+    }
+}
+
+/// An aggregate of independent general Markov-modulated flows.
+#[derive(Debug, Clone)]
+pub struct MmpAggregate {
+    flows: Vec<MmpState>,
+}
+
+impl MmpAggregate {
+    /// `n` i.i.d. stationary flows of the given model.
+    pub fn stationary<R: Rng + ?Sized>(model: &Mmp, n: usize, rng: &mut R) -> Self {
+        MmpAggregate {
+            flows: (0..n).map(|_| MmpState::stationary(model.clone(), rng)).collect(),
+        }
+    }
+
+    /// Number of flows in the aggregate.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the aggregate is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+}
+
+impl Source for MmpAggregate {
+    fn pull(&mut self, rng: &mut dyn Rng) -> f64 {
+        self.flows.iter_mut().map(|f| f.step(rng)).sum()
+    }
+}
+
+/// Simulation wrapper for a batch-Poisson source.
+#[derive(Debug, Clone)]
+pub struct PoissonBatchSim {
+    model: PoissonBatch,
+}
+
+impl PoissonBatchSim {
+    /// Wraps the analytical model for simulation.
+    pub fn new(model: PoissonBatch) -> Self {
+        PoissonBatchSim { model }
+    }
+}
+
+impl Source for PoissonBatchSim {
+    fn pull(&mut self, rng: &mut dyn Rng) -> f64 {
+        // Knuth's Poisson sampler; λ is small (per-slot) in all uses.
+        let l = (-self.model.lambda()).exp();
+        let mut k = 0u32;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                break;
+            }
+            k += 1;
+            if k > 1_000_000 {
+                break; // λ pathologically large; cap rather than spin
+            }
+        }
+        k as f64 * self.model.batch()
+    }
+}
+
+/// Replays a fixed per-slot arrival schedule (used for the Theorem-2
+/// adversarial scenarios); emits `0` past the end of the trace.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    slots: Vec<f64>,
+    pos: usize,
+}
+
+impl TraceSource {
+    /// Creates a trace source from per-slot amounts.
+    pub fn new(slots: Vec<f64>) -> Self {
+        TraceSource { slots, pos: 0 }
+    }
+
+    /// Whether the trace has been fully replayed.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.slots.len()
+    }
+}
+
+impl Source for TraceSource {
+    fn pull(&mut self, _rng: &mut dyn Rng) -> f64 {
+        let v = self.slots.get(self.pos).copied().unwrap_or(0.0);
+        self.pos += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mmoo_long_run_rate_matches_mean() {
+        let model = Mmoo::paper_source();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut agg = MmooAggregate::stationary(model, 50, &mut rng);
+        let slots = 200_000usize;
+        let mut total = 0.0;
+        for _ in 0..slots {
+            total += agg.pull(&mut rng);
+        }
+        let per_flow = total / (slots as f64 * 50.0);
+        let want = model.mean_rate();
+        assert!(
+            (per_flow - want).abs() / want < 0.05,
+            "empirical rate {per_flow} vs analytical {want}"
+        );
+    }
+
+    #[test]
+    fn mmoo_on_fraction_matches_stationary() {
+        let model = Mmoo::paper_source();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut agg = MmooAggregate::stationary(model, 100, &mut rng);
+        let mut on_slots = 0usize;
+        let slots = 50_000usize;
+        for _ in 0..slots {
+            on_slots += agg.on_count();
+            agg.pull(&mut rng);
+        }
+        let frac = on_slots as f64 / (slots * 100) as f64;
+        assert!((frac - model.stationary_on()).abs() < 0.01);
+    }
+
+    #[test]
+    fn cbr_is_constant() {
+        let mut c = CbrSource::new(2.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(c.pull(&mut rng), 2.5);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate() {
+        let model = PoissonBatch::new(0.3, 2.0);
+        let mut src = PoissonBatchSim::new(model);
+        let mut rng = StdRng::seed_from_u64(3);
+        let slots = 200_000usize;
+        let total: f64 = (0..slots).map(|_| src.pull(&mut rng)).sum();
+        let rate = total / slots as f64;
+        assert!((rate - model.mean_rate()).abs() / model.mean_rate() < 0.05);
+    }
+
+    #[test]
+    fn mmp_two_state_matches_mmoo_statistics() {
+        let mmoo = Mmoo::paper_source();
+        let mmp = Mmp::from_mmoo(&mmoo);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut agg = MmpAggregate::stationary(&mmp, 50, &mut rng);
+        let slots = 100_000usize;
+        let mut total = 0.0;
+        for _ in 0..slots {
+            total += agg.pull(&mut rng);
+        }
+        let per_flow = total / (slots as f64 * 50.0);
+        assert!(
+            (per_flow - mmoo.mean_rate()).abs() / mmoo.mean_rate() < 0.05,
+            "MMP empirical rate {per_flow} vs MMOO mean {}",
+            mmoo.mean_rate()
+        );
+    }
+
+    #[test]
+    fn mmp_three_state_long_run_rate() {
+        let video = Mmp::new(
+            vec![
+                vec![0.90, 0.10, 0.00],
+                vec![0.05, 0.90, 0.05],
+                vec![0.00, 0.20, 0.80],
+            ],
+            vec![0.0, 1.0, 3.0],
+        );
+        let want = video.mean_rate();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut agg = MmpAggregate::stationary(&video, 20, &mut rng);
+        let slots = 200_000usize;
+        let mut total = 0.0;
+        for _ in 0..slots {
+            total += agg.pull(&mut rng);
+        }
+        let per_flow = total / (slots as f64 * 20.0);
+        assert!(
+            (per_flow - want).abs() / want < 0.05,
+            "empirical {per_flow} vs analytical {want}"
+        );
+    }
+
+    #[test]
+    fn trace_replays_and_pads_with_zero() {
+        let mut t = TraceSource::new(vec![1.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(t.pull(&mut rng), 1.0);
+        assert!(!t.is_done());
+        assert_eq!(t.pull(&mut rng), 2.0);
+        assert!(t.is_done());
+        assert_eq!(t.pull(&mut rng), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Delay statistics for bound validation.
+
+/// A collection of (virtual) delay samples, one per through-traffic
+/// emission slot, with exact quantile queries.
+///
+/// # Example
+///
+/// ```
+/// use nc_sim::DelayStats;
+///
+/// let mut s = DelayStats::new();
+/// for d in [1.0, 2.0, 3.0, 4.0, 100.0] {
+///     s.record(d);
+/// }
+/// assert_eq!(s.quantile(0.5), Some(3.0));
+/// assert_eq!(s.max(), Some(100.0));
+/// assert!((s.violation_fraction(3.5) - 0.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DelayStats {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl DelayStats {
+    /// An empty collection.
+    pub fn new() -> Self {
+        DelayStats { samples: Vec::new(), sorted: true }
+    }
+
+    /// Records one delay sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is negative or NaN.
+    pub fn record(&mut self, delay: f64) {
+        assert!(delay >= 0.0 && !delay.is_nan(), "record: delays are non-negative");
+        self.samples.push(delay);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean delay, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Maximum observed delay, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().reduce(f64::max)
+    }
+
+    /// Exact empirical `q`-quantile (nearest-rank), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile: q must be in [0,1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Fraction of samples strictly above `d` — the empirical
+    /// `P(W > d)`.
+    pub fn violation_fraction(&self, d: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let over = self.samples.iter().filter(|&&x| x > d).count();
+        over as f64 / self.samples.len() as f64
+    }
+
+    /// A one-sided upper confidence limit for the violation probability
+    /// `P(W > d)` at (approximately) the given confidence level, using
+    /// the normal approximation with a +1 correction that keeps the
+    /// limit strictly positive for zero observed violations.
+    ///
+    /// Used to assert `bound ≥ P(W > d)` statistically: the analytical
+    /// violation probability should not exceed this limit when the
+    /// bound is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)` or no samples exist.
+    pub fn violation_upper_conf(&self, d: f64, confidence: f64) -> f64 {
+        assert!(confidence > 0.0 && confidence < 1.0, "violation_upper_conf: bad confidence");
+        assert!(!self.samples.is_empty(), "violation_upper_conf: no samples");
+        let n = self.samples.len() as f64;
+        let k = self.samples.iter().filter(|&&x| x > d).count() as f64;
+        // Wilson-style upper limit with a conservative +1 success.
+        let z = normal_quantile(confidence);
+        let p = (k + 1.0) / (n + 1.0);
+        (p + z * (p * (1.0 - p) / n).sqrt()).min(1.0)
+    }
+
+    /// The raw samples (unsorted order is unspecified).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Merges another collection into this one.
+    pub fn merge(&mut self, other: &DelayStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("delays are not NaN"));
+            self.sorted = true;
+        }
+    }
+}
+
+/// Approximate standard-normal quantile (Acklam's rational
+/// approximation; relative error below 1e-9 over (0, 1)).
+fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0);
+    // Coefficients from Peter Acklam's algorithm.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = DelayStats::new();
+        for d in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            s.record(d);
+        }
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(0.2), Some(1.0));
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(1.0), Some(5.0));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let mut s = DelayStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.violation_fraction(1.0), 0.0);
+    }
+
+    #[test]
+    fn violation_fraction_counts_strictly_above() {
+        let mut s = DelayStats::new();
+        for d in [1.0, 2.0, 2.0, 3.0] {
+            s.record(d);
+        }
+        assert!((s.violation_fraction(2.0) - 0.25).abs() < 1e-12);
+        assert!((s.violation_fraction(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_conf_exceeds_point_estimate() {
+        let mut s = DelayStats::new();
+        for i in 0..1000 {
+            s.record(if i % 100 == 0 { 10.0 } else { 1.0 });
+        }
+        let frac = s.violation_fraction(5.0);
+        let upper = s.violation_upper_conf(5.0, 0.99);
+        assert!(upper > frac);
+        assert!(upper < 0.05);
+    }
+
+    #[test]
+    fn upper_conf_positive_with_zero_violations() {
+        let mut s = DelayStats::new();
+        for _ in 0..1000 {
+            s.record(1.0);
+        }
+        assert!(s.violation_upper_conf(5.0, 0.99) > 0.0);
+    }
+
+    #[test]
+    fn normal_quantile_sanity() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = DelayStats::new();
+        a.record(1.0);
+        let mut b = DelayStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.quantile(1.0), Some(3.0));
+    }
+}

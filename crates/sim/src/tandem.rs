@@ -1,0 +1,463 @@
+//! The tandem topology of the paper's Fig. 1.
+
+use crate::node::{Chunk, Node, NodePolicy};
+use crate::scheduler::SchedulerKind;
+use crate::source::{MmooAggregate, Source};
+use crate::stats::DelayStats;
+use nc_traffic::Mmoo;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Configuration of a tandem simulation: `n_through` MMOO flows
+/// traverse `hops` identical nodes; `n_cross` fresh MMOO flows enter at
+/// each node and leave after it (the paper's Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Per-slot capacity of every node (`C`, e.g. 100 kb per 1 ms slot).
+    pub capacity: f64,
+    /// Path length `H`.
+    pub hops: usize,
+    /// Number of through flows (`N_0`).
+    pub n_through: usize,
+    /// Number of cross flows per node (`N_c`).
+    pub n_cross: usize,
+    /// The per-flow MMOO model.
+    pub source: Mmoo,
+    /// The scheduler at every node.
+    pub scheduler: SchedulerKind,
+    /// Slots of warm-up; samples whose network-entry slot falls in the
+    /// warm-up window are discarded.
+    pub warmup: u64,
+    /// Packet mode: when `Some(l)`, emissions are quantized into packets
+    /// of size `l` (residual fluid accumulates until a full packet is
+    /// available) and nodes serve **non-preemptively** — the real-link
+    /// behaviour the paper's fluid model abstracts away. `None` is the
+    /// fluid model.
+    pub packet_size: Option<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            capacity: 100.0,
+            hops: 1,
+            n_through: 1,
+            n_cross: 0,
+            source: Mmoo::paper_source(),
+            scheduler: SchedulerKind::Fifo,
+            warmup: 2_000,
+            packet_size: None,
+        }
+    }
+}
+
+/// A running tandem simulation.
+///
+/// Traffic moves in cut-through fashion: data served by node `h` during
+/// slot `t` is available to node `h+1` within the same slot, matching
+/// the fluid network-calculus model in which an empty path adds no
+/// delay. The recorded samples are the virtual delays `W(t)` of the
+/// through aggregate: one sample per emission slot, measured until the
+/// *last* bit of that slot's emission has left the final node.
+#[derive(Debug)]
+pub struct TandemSim {
+    cfg: SimConfig,
+    rng: StdRng,
+    through: MmooAggregate,
+    cross: Vec<MmooAggregate>,
+    nodes: Vec<Node>,
+    /// Outstanding through emissions: (entry slot, bits still inside).
+    outstanding: VecDeque<(u64, f64)>,
+    /// Packet-mode residual fluid per traffic feed (through, then one
+    /// per node's cross aggregate).
+    residuals: Vec<f64>,
+    slot: u64,
+    stats: DelayStats,
+    /// Per-slot through-class backlog samples at node 1 (post-warmup),
+    /// for validating single-node backlog bounds.
+    backlog_stats: DelayStats,
+}
+
+impl TandemSim {
+    /// Creates a simulation from a config and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is zero, `n_through` is zero, or the capacity is
+    /// not positive/finite (via [`Node::new`]).
+    pub fn new(cfg: SimConfig, seed: u64) -> Self {
+        let capacities = vec![cfg.capacity; cfg.hops];
+        Self::with_capacities(cfg, &capacities, seed)
+    }
+
+    /// Creates a simulation with *per-node* capacities (a heterogeneous
+    /// path); `cfg.capacity` is ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len() != cfg.hops`, `hops` or `n_through`
+    /// is zero, or any capacity is invalid (via [`Node::new`]).
+    pub fn with_capacities(cfg: SimConfig, capacities: &[f64], seed: u64) -> Self {
+        assert!(cfg.hops > 0, "TandemSim: need at least one hop");
+        assert!(cfg.n_through > 0, "TandemSim: need at least one through flow");
+        assert_eq!(capacities.len(), cfg.hops, "TandemSim: one capacity per hop");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let through = MmooAggregate::stationary(cfg.source, cfg.n_through, &mut rng);
+        let cross = (0..cfg.hops)
+            .map(|_| MmooAggregate::stationary(cfg.source, cfg.n_cross, &mut rng))
+            .collect();
+        if let Some(l) = cfg.packet_size {
+            assert!(l > 0.0 && l.is_finite(), "TandemSim: packet size must be positive");
+            assert!(
+                !matches!(cfg.scheduler, SchedulerKind::Gps { .. }),
+                "TandemSim: packet mode with GPS (packetized WFQ) is not modelled"
+            );
+        }
+        let mode = if cfg.packet_size.is_some() {
+            crate::node::ServiceMode::NonPreemptive
+        } else {
+            crate::node::ServiceMode::Fluid
+        };
+        let nodes = capacities
+            .iter()
+            .map(|&c| Node::with_mode(c, cfg.scheduler.node_policy(), 2, mode))
+            .collect();
+        TandemSim {
+            cfg,
+            rng,
+            through,
+            cross,
+            nodes,
+            outstanding: VecDeque::new(),
+            residuals: vec![0.0; cfg.hops + 1],
+            slot: 0,
+            stats: DelayStats::new(),
+            backlog_stats: DelayStats::new(),
+        }
+    }
+
+    /// Quantizes an emission into whole packets in packet mode (feed 0
+    /// is the through aggregate, feed `h+1` the cross aggregate of node
+    /// `h`); identity in fluid mode.
+    fn quantize(&mut self, feed: usize, bits: f64) -> (f64, usize) {
+        match self.cfg.packet_size {
+            None => (bits, 1),
+            Some(l) => {
+                self.residuals[feed] += bits;
+                let packets = (self.residuals[feed] / l).floor() as usize;
+                self.residuals[feed] -= packets as f64 * l;
+                (packets as f64 * l, packets)
+            }
+        }
+    }
+
+    /// Runs the same configuration under several seeds on parallel
+    /// threads and merges the delay samples — the cheap way to reach
+    /// deeper empirical quantiles.
+    pub fn run_many(cfg: SimConfig, seeds: &[u64], slots: u64) -> DelayStats {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                std::thread::spawn(move || TandemSim::new(cfg, seed).run(slots))
+            })
+            .collect();
+        let mut merged = DelayStats::new();
+        for h in handles {
+            merged.merge(&h.join().expect("simulation thread panicked"));
+        }
+        merged
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current slot.
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Total backlog across all nodes.
+    pub fn backlog(&self) -> f64 {
+        self.nodes.iter().map(Node::backlog).sum()
+    }
+
+    /// Advances one slot.
+    pub fn step(&mut self) {
+        let t = self.slot;
+        let raw_thr = self.through.pull(&mut self.rng);
+        let (thr_bits, thr_packets) = self.quantize(0, raw_thr);
+        let mut forwarded: Vec<Chunk> = Vec::new();
+        if thr_bits > 0.0 {
+            let per = thr_bits / thr_packets as f64;
+            for _ in 0..thr_packets {
+                forwarded.push(Chunk { class: 0, bits: per, entry: t, node_arrival: t });
+            }
+            self.outstanding.push_back((t, thr_bits));
+        }
+        for h in 0..self.cfg.hops {
+            for c in forwarded.drain(..) {
+                self.nodes[h].enqueue(c);
+            }
+            let raw_cross = self.cross[h].pull(&mut self.rng);
+            let (cross_bits, cross_packets) = self.quantize(h + 1, raw_cross);
+            if cross_bits > 0.0 {
+                let per = cross_bits / cross_packets as f64;
+                for _ in 0..cross_packets {
+                    self.nodes[h]
+                        .enqueue(Chunk { class: 1, bits: per, entry: t, node_arrival: t });
+                }
+            }
+            let departures = self.nodes[h].serve_slot(t);
+            if h == 0 && t >= self.cfg.warmup {
+                self.backlog_stats.record(self.nodes[0].class_backlog(0));
+            }
+            for mut c in departures {
+                if c.class != 0 {
+                    continue; // cross traffic leaves after one hop
+                }
+                if h + 1 < self.cfg.hops {
+                    c.node_arrival = t;
+                    forwarded.push(c);
+                } else {
+                    self.record_exit(c, t);
+                }
+            }
+        }
+        self.slot += 1;
+    }
+
+    /// A through fragment left the final node: retire it against its
+    /// entry slot's outstanding bits and record `W(entry)` when the
+    /// emission is fully out. Locally-FIFO scheduling guarantees entries
+    /// complete in order.
+    fn record_exit(&mut self, c: Chunk, now: u64) {
+        let front = self.outstanding.front_mut().expect("departure without outstanding data");
+        debug_assert_eq!(front.0, c.entry, "through traffic must exit in entry order");
+        front.1 -= c.bits;
+        if front.1 <= 1e-9 {
+            let (entry, _) = self.outstanding.pop_front().expect("front exists");
+            if entry >= self.cfg.warmup {
+                self.stats.record((now - entry) as f64);
+            }
+        }
+    }
+
+    /// Runs `slots` slots and returns (a clone of) the accumulated
+    /// delay statistics.
+    pub fn run(&mut self, slots: u64) -> DelayStats {
+        for _ in 0..slots {
+            self.step();
+        }
+        self.stats.clone()
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &DelayStats {
+        &self.stats
+    }
+
+    /// Per-slot through-class backlog samples at the first node
+    /// (post-warmup, recorded after each slot's service) — comparable to
+    /// the single-node backlog bounds of the analysis.
+    pub fn backlog_stats(&self) -> &DelayStats {
+        &self.backlog_stats
+    }
+}
+
+/// Replays fixed per-slot arrival traces (one per class) through a
+/// single node and returns the per-class virtual delay samples — used
+/// to execute the Theorem-2 adversarial scenarios, where arrivals are
+/// the greedy envelope traces rather than random processes.
+///
+/// The replay runs until all traces are exhausted *and* the node has
+/// drained.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty or the policy's class count mismatches
+/// (via [`Node::new`]).
+pub fn replay_single_node(
+    capacity: f64,
+    policy: NodePolicy,
+    traces: &[Vec<f64>],
+) -> Vec<DelayStats> {
+    assert!(!traces.is_empty(), "replay_single_node: need at least one class");
+    let classes = traces.len();
+    let mut node = Node::new(capacity, policy, classes);
+    let mut outstanding: Vec<VecDeque<(u64, f64)>> = vec![VecDeque::new(); classes];
+    let mut stats: Vec<DelayStats> = vec![DelayStats::new(); classes];
+    let horizon = traces.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    let mut t = 0u64;
+    loop {
+        if t < horizon {
+            for (class, trace) in traces.iter().enumerate() {
+                let bits = trace.get(t as usize).copied().unwrap_or(0.0);
+                if bits > 0.0 {
+                    node.enqueue(Chunk { class, bits, entry: t, node_arrival: t });
+                    outstanding[class].push_back((t, bits));
+                }
+            }
+        }
+        for c in node.serve_slot(t) {
+            let front =
+                outstanding[c.class].front_mut().expect("departure without outstanding data");
+            front.1 -= c.bits;
+            if front.1 <= 1e-9 {
+                let (entry, _) = outstanding[c.class].pop_front().expect("front exists");
+                stats[c.class].record((t - entry) as f64);
+            }
+        }
+        t += 1;
+        if t >= horizon && node.backlog() <= 1e-9 {
+            break;
+        }
+        if t > horizon + 100_000_000 {
+            panic!("replay_single_node: node failed to drain (unstable trace)");
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light_cfg(scheduler: SchedulerKind) -> SimConfig {
+        SimConfig {
+            capacity: 20.0,
+            hops: 3,
+            n_through: 10,
+            n_cross: 20,
+            scheduler,
+            warmup: 500,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_network_has_near_zero_delay() {
+        // One through flow, no cross traffic, huge capacity: every
+        // emission leaves in its arrival slot (cut-through).
+        let cfg = SimConfig {
+            capacity: 1000.0,
+            hops: 5,
+            n_through: 1,
+            n_cross: 0,
+            warmup: 0,
+            ..SimConfig::default()
+        };
+        let mut sim = TandemSim::new(cfg, 1);
+        let mut stats = sim.run(5_000);
+        assert!(!stats.is_empty());
+        assert_eq!(stats.max(), Some(0.0));
+        assert_eq!(stats.quantile(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn delays_grow_with_load() {
+        let low = TandemSim::new(
+            SimConfig { n_cross: 10, ..light_cfg(SchedulerKind::Fifo) },
+            7,
+        )
+        .run(30_000);
+        let high = TandemSim::new(
+            SimConfig { n_cross: 100, ..light_cfg(SchedulerKind::Fifo) },
+            7,
+        )
+        .run(30_000);
+        assert!(high.mean().unwrap() > low.mean().unwrap());
+    }
+
+    #[test]
+    fn scheduler_ordering_on_mean_delays() {
+        // Through-priority ≤ FIFO ≤ BMUX for the through traffic, up to
+        // simulation noise (use a generous margin on means).
+        let run = |k: SchedulerKind| TandemSim::new(light_cfg(k), 99).run(60_000);
+        let hp = run(SchedulerKind::ThroughPriority).mean().unwrap();
+        let fifo = run(SchedulerKind::Fifo).mean().unwrap();
+        let bmux = run(SchedulerKind::Bmux).mean().unwrap();
+        assert!(hp <= fifo * 1.05 + 0.2, "priority {hp} vs fifo {fifo}");
+        assert!(fifo <= bmux * 1.05 + 0.2, "fifo {fifo} vs bmux {bmux}");
+    }
+
+    #[test]
+    fn edf_with_tight_through_deadline_beats_fifo() {
+        let run = |k: SchedulerKind| TandemSim::new(light_cfg(k), 1234).run(60_000);
+        let edf = run(SchedulerKind::Edf { d_through: 1.0, d_cross: 50.0 }).mean().unwrap();
+        let fifo = run(SchedulerKind::Fifo).mean().unwrap();
+        assert!(edf <= fifo * 1.05 + 0.2, "edf {edf} vs fifo {fifo}");
+    }
+
+    #[test]
+    fn conservation_no_data_lost() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let mut sim = TandemSim::new(cfg, 5);
+        for _ in 0..10_000 {
+            sim.step();
+        }
+        // Outstanding bits + recorded samples account for every through
+        // emission: outstanding is bounded by the backlog.
+        let outstanding_bits: f64 = sim.outstanding.iter().map(|(_, b)| b).sum();
+        assert!(outstanding_bits <= sim.backlog() + 1e-6);
+    }
+
+    #[test]
+    fn gps_runs_and_interpolates() {
+        let run = |k: SchedulerKind| TandemSim::new(light_cfg(k), 31).run(60_000);
+        let gps_fair = run(SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 }).mean().unwrap();
+        let hp = run(SchedulerKind::ThroughPriority).mean().unwrap();
+        let bmux = run(SchedulerKind::Bmux).mean().unwrap();
+        assert!(gps_fair >= hp - 0.2, "gps {gps_fair} vs hp {hp}");
+        assert!(gps_fair <= bmux + 2.0, "gps {gps_fair} vs bmux {bmux}");
+    }
+
+    #[test]
+    fn replay_single_node_constant_overload_then_drain() {
+        // 10 units/slot arrive for 10 slots into a 5-capacity node:
+        // backlog builds, then drains; last chunk waits ~10 slots.
+        let trace = vec![vec![10.0; 10]];
+        let stats = &mut replay_single_node(5.0, NodePolicy::Fifo, &trace)[0];
+        assert_eq!(stats.len(), 10);
+        assert!(stats.max().unwrap() >= 9.0);
+        assert!(stats.samples()[0] >= 1.0); // first slot already overloads
+    }
+
+    #[test]
+    fn replay_two_classes_priority() {
+        // Class 1 has priority; class 0's chunk waits for it.
+        let traces = vec![vec![5.0], vec![5.0]];
+        let stats = replay_single_node(5.0, NodePolicy::StaticPriority(vec![1, 0]), &traces);
+        assert_eq!(stats[1].samples(), &[0.0]);
+        assert_eq!(stats[0].samples(), &[1.0]);
+    }
+
+    #[test]
+    fn heterogeneous_bottleneck_raises_delays() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let uniform = TandemSim::with_capacities(cfg, &[20.0, 20.0, 20.0], 11).run(40_000);
+        let bottleneck = TandemSim::with_capacities(cfg, &[20.0, 12.0, 20.0], 11).run(40_000);
+        assert!(bottleneck.mean().unwrap() > uniform.mean().unwrap());
+    }
+
+    #[test]
+    fn run_many_merges_seeds() {
+        let cfg = SimConfig { warmup: 100, ..light_cfg(SchedulerKind::Fifo) };
+        let merged = TandemSim::run_many(cfg, &[1, 2, 3], 5_000);
+        let single = TandemSim::new(cfg, 1).run(5_000);
+        assert!(merged.len() > 2 * single.len());
+    }
+
+    #[test]
+    fn warmup_discards_early_samples() {
+        let cfg = SimConfig { warmup: 1_000, ..light_cfg(SchedulerKind::Fifo) };
+        let mut sim = TandemSim::new(cfg, 3);
+        for _ in 0..1_000 {
+            sim.step();
+        }
+        // All entries so far are within warm-up: nothing recorded.
+        assert_eq!(sim.stats().len(), 0);
+    }
+}

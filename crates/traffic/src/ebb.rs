@@ -1,0 +1,168 @@
+//! Exponentially Bounded Burstiness (EBB) arrival processes.
+
+use crate::bounding::ExpBound;
+use crate::envelope::StatEnvelope;
+
+/// An arrival process with Exponentially Bounded Burstiness (Eq. (27)):
+///
+/// `P( A(s,t) > ρ·(t−s) + σ ) ≤ M · e^{−α·σ}` for all `s ≤ t`, `σ ≥ 0`.
+///
+/// Written `A ∼ (M, ρ, α)` in the paper. The EBB class is expressive
+/// enough to capture Markov-modulated processes (see
+/// [`Mmoo::ebb`](crate::Mmoo::ebb)) and is closed under independent
+/// aggregation.
+///
+/// # Example
+///
+/// ```
+/// use nc_traffic::Ebb;
+///
+/// let a = Ebb::new(1.0, 20.0, 0.5);
+/// let env = a.sample_path_envelope(1.0);     // G(t) = (ρ+γ)t, Section IV
+/// assert!((env.rate() - 21.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ebb {
+    m: f64,
+    rho: f64,
+    alpha: f64,
+}
+
+impl Ebb {
+    /// Creates an EBB process `A ∼ (M, ρ, α)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `M ≥ 1`, `ρ ≥ 0`, and `α > 0` (all finite). The
+    /// paper requires `M ≥ 1`: an EBB bound is a probability bound and
+    /// must be vacuous at `σ = 0` for the union-bound machinery to hold.
+    pub fn new(m: f64, rho: f64, alpha: f64) -> Self {
+        assert!(m >= 1.0 && m.is_finite(), "Ebb: prefactor M must be finite and ≥ 1");
+        assert!(rho >= 0.0 && rho.is_finite(), "Ebb: rate ρ must be finite and non-negative");
+        assert!(alpha > 0.0 && alpha.is_finite(), "Ebb: decay α must be finite and positive");
+        Ebb { m, rho, alpha }
+    }
+
+    /// The prefactor `M`.
+    pub fn m(&self) -> f64 {
+        self.m
+    }
+
+    /// The long-term rate bound `ρ`.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The exponential decay `α` of the burstiness bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The per-interval bounding function `ε(σ) = M·e^{−ασ}`.
+    pub fn interval_bound(&self) -> ExpBound {
+        ExpBound::new(self.m, self.alpha)
+    }
+
+    /// Discrete-time statistical sample-path envelope (Section IV):
+    ///
+    /// `G(t) = (ρ + γ)·t` with bounding function
+    /// `ε(σ) = M·e^{−ασ} / (1 − e^{−αγ})`,
+    ///
+    /// valid for any `γ > 0` by a union bound over slot offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive.
+    pub fn sample_path_envelope(&self, gamma: f64) -> StatEnvelope {
+        assert!(gamma > 0.0, "sample_path_envelope: gamma must be positive");
+        StatEnvelope::linear(self.rho + gamma, self.interval_bound().geometric_sum(gamma))
+    }
+
+    /// Aggregates independent EBB processes with a common decay `α` by
+    /// the Chernoff/MGF argument: `M = Π M_j`, `ρ = Σ ρ_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flows` is empty or the decays differ by more than a
+    /// relative `1e-9` (aggregation is only exponential for a common
+    /// moment parameter).
+    pub fn aggregate_independent(flows: &[Ebb]) -> Ebb {
+        assert!(!flows.is_empty(), "aggregate_independent: need at least one flow");
+        let alpha = flows[0].alpha;
+        let mut m = 1.0;
+        let mut rho = 0.0;
+        for f in flows {
+            assert!(
+                (f.alpha - alpha).abs() <= 1e-9 * alpha,
+                "aggregate_independent: all flows must share the decay α"
+            );
+            m *= f.m;
+            rho += f.rho;
+        }
+        Ebb { m, rho, alpha }
+    }
+
+    /// Aggregates `n` i.i.d. copies of this process: `(M^n, n·ρ, α)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn scale_flows(&self, n: usize) -> Ebb {
+        assert!(n > 0, "scale_flows: need at least one flow");
+        Ebb { m: self.m.powi(n as i32), rho: self.rho * n as f64, alpha: self.alpha }
+    }
+}
+
+impl std::fmt::Display for Ebb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EBB(M={}, ρ={}, α={})", self.m, self.rho, self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_path_envelope_constants() {
+        let a = Ebb::new(2.0, 10.0, 0.5);
+        let env = a.sample_path_envelope(0.25);
+        assert!((env.rate() - 10.25).abs() < 1e-12);
+        let q = 1.0 - (-0.5 * 0.25_f64).exp();
+        assert!((env.bound().prefactor() - 2.0 / q).abs() < 1e-9);
+        assert!((env.bound().decay() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_adds_rates_multiplies_prefactors() {
+        let a = Ebb::new(2.0, 5.0, 0.4);
+        let b = Ebb::new(3.0, 7.0, 0.4);
+        let agg = Ebb::aggregate_independent(&[a, b]);
+        assert!((agg.m() - 6.0).abs() < 1e-12);
+        assert!((agg.rho() - 12.0).abs() < 1e-12);
+        assert!((agg.alpha() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_flows_matches_aggregate() {
+        let a = Ebb::new(1.5, 2.0, 0.3);
+        let s = a.scale_flows(4);
+        let agg = Ebb::aggregate_independent(&[a, a, a, a]);
+        assert!((s.m() - agg.m()).abs() < 1e-12);
+        assert!((s.rho() - agg.rho()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must share the decay")]
+    fn aggregation_rejects_mixed_alpha() {
+        let a = Ebb::new(1.0, 1.0, 0.4);
+        let b = Ebb::new(1.0, 1.0, 0.5);
+        let _ = Ebb::aggregate_independent(&[a, b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "M must be finite and ≥ 1")]
+    fn rejects_small_prefactor() {
+        let _ = Ebb::new(0.5, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Discrete-time Markov-modulated on-off sources.
+
+use crate::ebb::Ebb;
+
+/// A two-state discrete-time Markov-modulated on-off (MMOO) source.
+///
+/// The state alternates between OFF (state 1) and ON (state 2) according
+/// to a Markov chain with self-transition probabilities `p11` (stay OFF)
+/// and `p22` (stay ON). In each ON slot the source emits a fixed amount
+/// `P` of data (`peak` per slot); in OFF slots it emits nothing.
+///
+/// This is the traffic model of the paper's numerical examples
+/// (Section V), with `P = 1.5 kb` per 1 ms slot, `p11 = 0.989`,
+/// `p22 = 0.9` — a peak rate of 1.5 Mbps and a mean rate of ≈0.15 Mbps.
+///
+/// The *effective bandwidth* `eb(s) = (1/(st)) log E[e^{s·A(t)}]` of the
+/// source is bounded by the log of the spectral radius of the
+/// MGF-weighted transition matrix (Chang; quoted as the display equation
+/// in Section V):
+///
+/// `eb(s) ≤ (1/s)·log( (p11 + p22·e^{sP} + √((p11 + p22·e^{sP})² −
+/// 4(p11+p22−1)e^{sP}))/2 )`.
+///
+/// An aggregate of `N` independent MMOO flows is then EBB with
+/// `A ∼ (1, N·eb(s), s)` for every `s > 0` ([`Mmoo::ebb`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mmoo {
+    p11: f64,
+    p22: f64,
+    peak: f64,
+}
+
+impl Mmoo {
+    /// Creates an MMOO source.
+    ///
+    /// `p11` is the probability of staying OFF, `p22` of staying ON, and
+    /// `peak` the emission per ON slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p11 < 1`, `0 < p22 < 1`, `peak > 0`, and
+    /// `p12 + p21 ≤ 1` (equivalently `p11 + p22 ≥ 1`), the positive-
+    /// correlation regime assumed by the paper's envelope bound.
+    pub fn new(p11: f64, p22: f64, peak: f64) -> Self {
+        assert!(p11 > 0.0 && p11 < 1.0, "Mmoo: p11 must lie in (0,1)");
+        assert!(p22 > 0.0 && p22 < 1.0, "Mmoo: p22 must lie in (0,1)");
+        assert!(peak > 0.0 && peak.is_finite(), "Mmoo: peak must be finite and positive");
+        assert!(
+            p11 + p22 >= 1.0,
+            "Mmoo: the paper assumes p12 + p21 ≤ 1 (positively correlated on/off periods)"
+        );
+        Mmoo { p11, p22, peak }
+    }
+
+    /// The source used in all numerical examples of the paper:
+    /// `P = 1.5` (kb per 1 ms slot), `p11 = 0.989`, `p22 = 0.9`.
+    ///
+    /// Peak rate 1.5 Mbps; mean rate ≈ 0.1486 Mbps (the paper rounds to
+    /// 0.15 Mbps when defining utilization).
+    pub fn paper_source() -> Self {
+        Mmoo::new(0.989, 0.9, 1.5)
+    }
+
+    /// Probability of staying OFF for one slot.
+    pub fn p11(&self) -> f64 {
+        self.p11
+    }
+
+    /// Probability of staying ON for one slot.
+    pub fn p22(&self) -> f64 {
+        self.p22
+    }
+
+    /// Emission per ON slot.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Stationary probability of the ON state,
+    /// `π_ON = p12 / (p12 + p21)`.
+    pub fn stationary_on(&self) -> f64 {
+        let p12 = 1.0 - self.p11;
+        let p21 = 1.0 - self.p22;
+        p12 / (p12 + p21)
+    }
+
+    /// Long-term mean rate `π_ON · P` per slot.
+    pub fn mean_rate(&self) -> f64 {
+        self.stationary_on() * self.peak
+    }
+
+    /// Peak rate per slot (equals [`Mmoo::peak`]).
+    pub fn peak_rate(&self) -> f64 {
+        self.peak
+    }
+
+    /// The effective-bandwidth bound `eb(s)` per flow (Section V).
+    ///
+    /// `eb` is non-decreasing in `s` with `eb(0⁺) = mean_rate` and
+    /// `eb(∞) = peak_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not strictly positive and finite, or if `e^{sP}`
+    /// overflows (`s·P ≳ 700`); the analysis never needs such extreme
+    /// moment parameters.
+    pub fn effective_bandwidth(&self, s: f64) -> f64 {
+        assert!(s > 0.0 && s.is_finite(), "effective_bandwidth: s must be positive and finite");
+        let esp = (s * self.peak).exp();
+        assert!(esp.is_finite(), "effective_bandwidth: e^(sP) overflows for s = {s}");
+        let a = self.p11 + self.p22 * esp;
+        // For very large a the discriminant a² − 4(p11+p22−1)e^{sP}
+        // overflows even though the spectral radius is ≈ a (the
+        // correction term is O(e^{sP}/a) ≪ a): use the asymptote.
+        let sr = if a > 1e150 {
+            a
+        } else {
+            let disc = a * a - 4.0 * (self.p11 + self.p22 - 1.0) * esp;
+            // disc ≥ (p11 − p22·e^{sP})² ≥ 0 algebraically; guard fp noise.
+            0.5 * (a + disc.max(0.0).sqrt())
+        };
+        sr.ln() / s
+    }
+
+    /// EBB characterization of an aggregate of `n` independent flows at
+    /// moment parameter `s`: `A ∼ (M=1, ρ=n·eb(s), α=s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is invalid (see
+    /// [`Mmoo::effective_bandwidth`]).
+    pub fn ebb(&self, s: f64, n: usize) -> Ebb {
+        assert!(n > 0, "ebb: need at least one flow");
+        Ebb::new(1.0, n as f64 * self.effective_bandwidth(s), s)
+    }
+}
+
+impl std::fmt::Display for Mmoo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MMOO(p11={}, p22={}, P={})", self.p11, self.p22, self.peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_source_rates() {
+        let s = Mmoo::paper_source();
+        // π_ON = 0.011/0.111, mean = π_ON · 1.5 ≈ 0.148649…
+        assert!((s.stationary_on() - 0.011 / 0.111).abs() < 1e-12);
+        assert!((s.mean_rate() - 0.1486).abs() < 1e-3);
+        assert_eq!(s.peak_rate(), 1.5);
+    }
+
+    #[test]
+    fn effective_bandwidth_limits() {
+        let src = Mmoo::paper_source();
+        // s → 0⁺: eb → mean rate.
+        let small = src.effective_bandwidth(1e-7);
+        assert!(
+            (small - src.mean_rate()).abs() < 1e-3,
+            "eb(0+) = {small}, mean = {}",
+            src.mean_rate()
+        );
+        // s large: eb → peak rate (from below).
+        let large = src.effective_bandwidth(50.0);
+        assert!(large <= src.peak_rate() + 1e-9);
+        assert!(large > 0.99 * src.peak_rate());
+    }
+
+    #[test]
+    fn effective_bandwidth_monotone_in_s() {
+        let src = Mmoo::paper_source();
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let s = i as f64 * 0.05;
+            let eb = src.effective_bandwidth(s);
+            assert!(eb >= prev - 1e-12, "eb not monotone at s={s}");
+            prev = eb;
+        }
+    }
+
+    #[test]
+    fn effective_bandwidth_between_mean_and_peak() {
+        let src = Mmoo::new(0.95, 0.8, 2.0);
+        for s in [0.01, 0.1, 1.0, 10.0] {
+            let eb = src.effective_bandwidth(s);
+            assert!(eb >= src.mean_rate() - 1e-9);
+            assert!(eb <= src.peak_rate() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn ebb_aggregate_scales_linearly() {
+        let src = Mmoo::paper_source();
+        let one = src.ebb(0.5, 1);
+        let hundred = src.ebb(0.5, 100);
+        assert!((hundred.rho() - 100.0 * one.rho()).abs() < 1e-9);
+        assert_eq!(hundred.m(), 1.0);
+        assert_eq!(hundred.alpha(), 0.5);
+    }
+
+    #[test]
+    fn utilization_convention_of_the_paper() {
+        // U = (N0 + Nc) · 0.15 / 100 with C = 100 kb/ms: 100 flows ≈ 15%.
+        let src = Mmoo::paper_source();
+        let n = 100.0;
+        let u = n * src.mean_rate() / 100.0;
+        assert!((u - 0.1486).abs() < 2e-3); // paper rounds to 15%
+    }
+
+    #[test]
+    #[should_panic(expected = "p12 + p21 ≤ 1")]
+    fn rejects_negative_correlation() {
+        let _ = Mmoo::new(0.3, 0.3, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "s must be positive")]
+    fn rejects_bad_s() {
+        let _ = Mmoo::paper_source().effective_bandwidth(0.0);
+    }
+}

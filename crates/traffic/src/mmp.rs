@@ -1,0 +1,300 @@
+//! General discrete-time Markov-modulated processes (arbitrary state
+//! count).
+//!
+//! The paper's examples use the two-state on-off special case
+//! ([`crate::Mmoo`]); this module provides the general model: a Markov
+//! chain over `n` states with per-state emission rates. Its effective
+//! bandwidth is the log spectral radius of the MGF-weighted transition
+//! matrix (Chang's theorem),
+//!
+//! `eb(s) = (1/s)·log sp( P ⊙ diag(e^{s·r}) )`,
+//!
+//! computed here by power iteration. An aggregate of `N` independent
+//! copies is EBB with `A ∼ (1, N·eb(s), s)`, exactly like the on-off
+//! case, so every delay bound in `nc-core` applies unchanged to
+//! arbitrary Markov-modulated workloads (voice with comfort noise,
+//! multi-rate video, …).
+
+use crate::ebb::Ebb;
+
+/// A discrete-time Markov-modulated process: transition matrix `p`
+/// (row-stochastic; `p[i][j]` = probability of moving from state `i` to
+/// state `j`) and per-state emissions `rates[i]` per slot.
+///
+/// # Example
+///
+/// A three-state video-like source (idle / base layer / burst):
+///
+/// ```
+/// use nc_traffic::Mmp;
+///
+/// let src = Mmp::new(
+///     vec![
+///         vec![0.90, 0.10, 0.00],
+///         vec![0.05, 0.90, 0.05],
+///         vec![0.00, 0.20, 0.80],
+///     ],
+///     vec![0.0, 1.0, 3.0],
+/// );
+/// let eb = src.effective_bandwidth(0.1);
+/// assert!(eb > src.mean_rate() && eb < src.peak_rate());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mmp {
+    p: Vec<Vec<f64>>,
+    rates: Vec<f64>,
+}
+
+impl Mmp {
+    /// Creates a Markov-modulated process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty or not square, rows do not sum to 1
+    /// (within `1e-9`), probabilities or rates are negative/non-finite,
+    /// or `rates.len()` differs from the state count.
+    pub fn new(p: Vec<Vec<f64>>, rates: Vec<f64>) -> Self {
+        let n = p.len();
+        assert!(n > 0, "Mmp: need at least one state");
+        assert_eq!(rates.len(), n, "Mmp: one rate per state");
+        for (i, row) in p.iter().enumerate() {
+            assert_eq!(row.len(), n, "Mmp: transition matrix must be square");
+            let mut sum = 0.0;
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v), "Mmp: p[{i}] entries must be probabilities");
+                sum += v;
+            }
+            assert!((sum - 1.0).abs() <= 1e-9, "Mmp: row {i} sums to {sum}, not 1");
+        }
+        for &r in &rates {
+            assert!(r >= 0.0 && r.is_finite(), "Mmp: rates must be finite and non-negative");
+        }
+        Mmp { p, rates }
+    }
+
+    /// The two-state on-off special case, for cross-checking against
+    /// [`crate::Mmoo`].
+    pub fn from_mmoo(m: &crate::Mmoo) -> Self {
+        Mmp::new(
+            vec![
+                vec![m.p11(), 1.0 - m.p11()],
+                vec![1.0 - m.p22(), m.p22()],
+            ],
+            vec![0.0, m.peak()],
+        )
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The transition matrix.
+    pub fn transition(&self) -> &[Vec<f64>] {
+        &self.p
+    }
+
+    /// Per-state emission rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The stationary distribution `π`, by damped power iteration
+    /// `π ← (π + πP)/2` — the averaging makes the iteration converge
+    /// for periodic chains as well (it iterates the lazy chain
+    /// `(I+P)/2`, which has the same stationary distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iteration fails to converge in 100 000 steps
+    /// (a disconnected chain with no unique stationary distribution).
+    pub fn stationary(&self) -> Vec<f64> {
+        let n = self.states();
+        let mut pi = vec![1.0 / n as f64; n];
+        for _ in 0..100_000 {
+            let mut next = vec![0.0; n];
+            for (i, &w) in pi.iter().enumerate() {
+                for (j, &pij) in self.p[i].iter().enumerate() {
+                    next[j] += w * pij;
+                }
+            }
+            for (x, &old) in next.iter_mut().zip(&pi) {
+                *x = 0.5 * (*x + old);
+            }
+            let diff: f64 = next.iter().zip(&pi).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if diff < 1e-14 {
+                return pi;
+            }
+        }
+        panic!("Mmp::stationary: damped power iteration did not converge (disconnected chain?)");
+    }
+
+    /// Long-run mean rate `Σ_i π_i·r_i`.
+    pub fn mean_rate(&self) -> f64 {
+        self.stationary().iter().zip(&self.rates).map(|(p, r)| p * r).sum()
+    }
+
+    /// Largest per-state rate.
+    pub fn peak_rate(&self) -> f64 {
+        self.rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Effective bandwidth `eb(s) = log sp(P·diag(e^{s r}))/s` by power
+    /// iteration on the *shifted* matrix `I + M` with
+    /// `M[i][j] = p[i][j]·e^{s·r_j}`.
+    ///
+    /// The shift makes the iteration matrix primitive whenever the chain
+    /// is irreducible, so the iteration converges even for *periodic*
+    /// chains (a plain power iteration oscillates on those and can
+    /// silently return an unsound value). Since `e^{s·r} ≥ 1` for
+    /// non-negative rates, `sp(M) ≥ 1` and the back-shift
+    /// `sp(M) = sp(I+M) − 1` loses no precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not strictly positive/finite or `e^{s·r}`
+    /// overflows.
+    pub fn effective_bandwidth(&self, s: f64) -> f64 {
+        assert!(s > 0.0 && s.is_finite(), "effective_bandwidth: s must be positive and finite");
+        let n = self.states();
+        let weights: Vec<f64> = self.rates.iter().map(|&r| (s * r).exp()).collect();
+        for w in &weights {
+            assert!(w.is_finite(), "effective_bandwidth: e^(s·r) overflows for s = {s}");
+        }
+        let mut v = vec![1.0_f64; n];
+        let mut lambda = 2.0_f64;
+        for it in 0..100_000 {
+            let mut next = vec![0.0_f64; n];
+            for (i, slot) in next.iter_mut().enumerate() {
+                let mut acc = v[i]; // the +I shift
+                for j in 0..n {
+                    acc += self.p[i][j] * weights[j] * v[j];
+                }
+                *slot = acc;
+            }
+            let norm = next.iter().copied().fold(0.0_f64, f64::max);
+            assert!(norm > 0.0, "effective_bandwidth: chain has an absorbing zero row");
+            for x in &mut next {
+                *x /= norm;
+            }
+            let diff: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            lambda = norm;
+            if diff < 1e-14 && it > 2 {
+                break;
+            }
+        }
+        (lambda - 1.0).ln() / s
+    }
+
+    /// EBB characterization of `n` independent copies at moment
+    /// parameter `s`: `A ∼ (1, n·eb(s), s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is invalid.
+    pub fn ebb(&self, s: f64, n: usize) -> Ebb {
+        assert!(n > 0, "ebb: need at least one flow");
+        Ebb::new(1.0, n as f64 * self.effective_bandwidth(s), s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mmoo;
+
+    fn video_source() -> Mmp {
+        Mmp::new(
+            vec![
+                vec![0.90, 0.10, 0.00],
+                vec![0.05, 0.90, 0.05],
+                vec![0.00, 0.20, 0.80],
+            ],
+            vec![0.0, 1.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn two_state_matches_mmoo_closed_form() {
+        let mmoo = Mmoo::paper_source();
+        let mmp = Mmp::from_mmoo(&mmoo);
+        for s in [0.01, 0.1, 0.5, 2.0] {
+            let a = mmoo.effective_bandwidth(s);
+            let b = mmp.effective_bandwidth(s);
+            assert!((a - b).abs() / a < 1e-9, "s={s}: closed form {a} vs power iteration {b}");
+        }
+        assert!((mmoo.mean_rate() - mmp.mean_rate()).abs() < 1e-9);
+        assert_eq!(mmoo.peak_rate(), mmp.peak_rate());
+    }
+
+    #[test]
+    fn stationary_distribution_sums_to_one() {
+        let pi = video_source().stationary();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Balance check: πP = π.
+        let src = video_source();
+        for j in 0..3 {
+            let flow: f64 = (0..3).map(|i| pi[i] * src.transition()[i][j]).sum();
+            assert!((flow - pi[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eb_monotone_and_bounded() {
+        let src = video_source();
+        let mut prev = src.mean_rate();
+        for i in 1..60 {
+            let s = i as f64 * 0.1;
+            let eb = src.effective_bandwidth(s);
+            assert!(eb >= prev - 1e-9, "eb must be non-decreasing in s");
+            assert!(eb <= src.peak_rate() + 1e-9);
+            prev = eb;
+        }
+        // Small s recovers the mean.
+        assert!((src.effective_bandwidth(1e-6) - src.mean_rate()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn periodic_chain_effective_bandwidth_is_exact() {
+        // Strictly alternating chain (period 2): emits 2 every other
+        // slot, so A(t) ≈ t and eb(s) = 1 for every s. A plain power
+        // iteration oscillates on periodic chains; the +I shift must
+        // converge to the true value.
+        let m = Mmp::new(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![0.0, 2.0]);
+        for s in [0.5f64, 1.0, 2.0] {
+            let eb = m.effective_bandwidth(s);
+            assert!((eb - 1.0).abs() < 1e-9, "s={s}: eb={eb}");
+        }
+    }
+
+    #[test]
+    fn deterministic_chain_has_peak_eb() {
+        // Single state emitting 2.0: eb(s) = 2 for all s.
+        let src = Mmp::new(vec![vec![1.0]], vec![2.0]);
+        for s in [0.1, 1.0, 5.0] {
+            assert!((src.effective_bandwidth(s) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ebb_aggregate_scales() {
+        let src = video_source();
+        let e1 = src.ebb(0.2, 1);
+        let e7 = src.ebb(0.2, 7);
+        assert!((e7.rho() - 7.0 * e1.rho()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 sums")]
+    fn rejects_non_stochastic_matrix() {
+        let _ = Mmp::new(vec![vec![0.5, 0.4], vec![0.5, 0.5]], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per state")]
+    fn rejects_rate_mismatch() {
+        let _ = Mmp::new(vec![vec![1.0]], vec![1.0, 2.0]);
+    }
+}

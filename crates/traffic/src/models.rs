@@ -1,0 +1,180 @@
+//! Additional traffic models: constant bit rate and Poisson batch sources.
+//!
+//! These complement the MMOO model of the paper: CBR is the fluid model
+//! used by the FIFO-degradation study the paper cites as motivation
+//! ([11] in the paper), and Poisson batch arrivals are the classical
+//! memoryless EBB example. Both slot into the same envelope machinery.
+
+use crate::bounding::ExpBound;
+use crate::ebb::Ebb;
+use crate::envelope::{DetEnvelope, StatEnvelope};
+
+/// A constant-bit-rate source emitting exactly `rate` per slot.
+///
+/// CBR traffic satisfies the deterministic envelope `E(t) = rate·t`
+/// exactly (no burst), and trivially satisfies an EBB bound with any
+/// decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbrSource {
+    rate: f64,
+}
+
+impl CbrSource {
+    /// Creates a CBR source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "CbrSource: rate must be finite and non-negative");
+        CbrSource { rate }
+    }
+
+    /// The emission per slot.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The exact deterministic envelope `E(t) = rate·t`.
+    pub fn det_envelope(&self) -> DetEnvelope {
+        DetEnvelope::leaky_bucket(self.rate, 0.0)
+    }
+
+    /// The (degenerate) EBB characterization: rate `rate`, no burstiness.
+    ///
+    /// Any `alpha > 0` gives a valid bound since the deviation above
+    /// `rate·t` is never positive; `M = 1` keeps it a probability bound.
+    pub fn ebb(&self, alpha: f64) -> Ebb {
+        Ebb::new(1.0, self.rate, alpha)
+    }
+}
+
+/// A batch-Poisson source: in each slot, a Poisson(`lambda`) number of
+/// batches arrives, each carrying `batch` units of data.
+///
+/// Its per-slot moment generating function is
+/// `E[e^{sA}] = exp(λ·(e^{s·batch} − 1))`, so the effective bandwidth is
+/// `eb(s) = λ·(e^{s·batch} − 1)/s` and the aggregate of the slots is EBB
+/// with `A ∼ (1, eb(s), s)` by independence across slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonBatch {
+    lambda: f64,
+    batch: f64,
+}
+
+impl PoissonBatch {
+    /// Creates a batch-Poisson source with `lambda` batches per slot of
+    /// `batch` units each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn new(lambda: f64, batch: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "PoissonBatch: lambda must be positive");
+        assert!(batch > 0.0 && batch.is_finite(), "PoissonBatch: batch must be positive");
+        PoissonBatch { lambda, batch }
+    }
+
+    /// Mean number of batches per slot.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Data per batch.
+    pub fn batch(&self) -> f64 {
+        self.batch
+    }
+
+    /// Mean rate `λ·batch` per slot.
+    pub fn mean_rate(&self) -> f64 {
+        self.lambda * self.batch
+    }
+
+    /// Effective bandwidth `eb(s) = λ(e^{s·batch} − 1)/s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not strictly positive, or `e^{s·batch}` overflows.
+    pub fn effective_bandwidth(&self, s: f64) -> f64 {
+        assert!(s > 0.0 && s.is_finite(), "effective_bandwidth: s must be positive and finite");
+        let e = (s * self.batch).exp();
+        assert!(e.is_finite(), "effective_bandwidth: e^(s·batch) overflows for s = {s}");
+        self.lambda * (e - 1.0) / s
+    }
+
+    /// EBB characterization of `n` independent sources at moment
+    /// parameter `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is invalid.
+    pub fn ebb(&self, s: f64, n: usize) -> Ebb {
+        assert!(n > 0, "ebb: need at least one source");
+        Ebb::new(1.0, n as f64 * self.effective_bandwidth(s), s)
+    }
+
+    /// Statistical sample-path envelope at moment parameter `s` and slack
+    /// rate `gamma` (see [`Ebb::sample_path_envelope`]).
+    pub fn sample_path_envelope(&self, s: f64, gamma: f64) -> StatEnvelope {
+        self.ebb(s, 1).sample_path_envelope(gamma)
+    }
+}
+
+/// Convenience: a deterministic leaky-bucket envelope as a statistical
+/// envelope with the zero bounding function.
+pub fn leaky_bucket_stat(rate: f64, burst: f64) -> StatEnvelope {
+    StatEnvelope::new(
+        nc_minplus::Curve::token_bucket(rate, burst),
+        ExpBound::zero(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_envelope_is_exact_rate() {
+        let c = CbrSource::new(2.5);
+        assert_eq!(c.det_envelope().curve().eval(4.0), 10.0);
+        assert_eq!(c.ebb(1.0).rho(), 2.5);
+    }
+
+    #[test]
+    fn poisson_effective_bandwidth_above_mean() {
+        let p = PoissonBatch::new(0.5, 2.0);
+        assert!((p.mean_rate() - 1.0).abs() < 1e-12);
+        for s in [0.01, 0.1, 1.0] {
+            assert!(p.effective_bandwidth(s) >= p.mean_rate());
+        }
+        // s → 0: eb → λ·batch.
+        assert!((p.effective_bandwidth(1e-8) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisson_eb_monotone() {
+        let p = PoissonBatch::new(0.3, 1.5);
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let s = i as f64 * 0.05;
+            let eb = p.effective_bandwidth(s);
+            assert!(eb >= prev);
+            prev = eb;
+        }
+    }
+
+    #[test]
+    fn poisson_ebb_scales() {
+        let p = PoissonBatch::new(0.3, 1.5);
+        let e1 = p.ebb(0.5, 1);
+        let e10 = p.ebb(0.5, 10);
+        assert!((e10.rho() - 10.0 * e1.rho()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leaky_bucket_stat_is_deterministic() {
+        let e = leaky_bucket_stat(1.0, 3.0);
+        assert!(e.is_deterministic());
+        assert_eq!(e.curve().eval(1.0), 4.0);
+    }
+}

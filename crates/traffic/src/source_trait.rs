@@ -1,0 +1,134 @@
+//! A common abstraction over traffic sources with effective bandwidths.
+
+use crate::ebb::Ebb;
+use crate::models::{CbrSource, PoissonBatch};
+use crate::mmoo::Mmoo;
+use crate::mmp::Mmp;
+
+/// A stationary traffic source whose aggregate admits an
+/// Exponentially-Bounded-Burstiness characterization through its
+/// effective bandwidth: `N` independent copies satisfy
+/// `A ∼ (1, N·eb(s), s)` for every moment parameter `s > 0`.
+///
+/// Everything the end-to-end analysis needs from a workload is captured
+/// here, so [`Mmoo`], the general Markov-modulated [`Mmp`], batch-
+/// Poisson, and CBR sources are interchangeable — including *mixing*
+/// different source types for through and cross traffic.
+pub trait TrafficSource {
+    /// The effective-bandwidth bound `eb(s)` of one flow.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `s` is not strictly positive/finite or
+    /// the underlying moment generating function overflows.
+    fn effective_bandwidth(&self, s: f64) -> f64;
+
+    /// Long-run mean rate of one flow.
+    fn mean_rate(&self) -> f64;
+
+    /// Peak rate of one flow (`+∞` if unbounded, e.g. batch Poisson).
+    fn peak_rate(&self) -> f64;
+
+    /// EBB characterization of `n` independent flows at moment
+    /// parameter `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is invalid.
+    fn ebb(&self, s: f64, n: usize) -> Ebb {
+        assert!(n > 0, "ebb: need at least one flow");
+        Ebb::new(1.0, n as f64 * self.effective_bandwidth(s), s)
+    }
+
+    /// The largest moment parameter the implementation can evaluate
+    /// without numerical overflow (optimizers must not exceed it).
+    fn s_max(&self) -> f64 {
+        100.0
+    }
+}
+
+impl TrafficSource for Mmoo {
+    fn effective_bandwidth(&self, s: f64) -> f64 {
+        Mmoo::effective_bandwidth(self, s)
+    }
+    fn mean_rate(&self) -> f64 {
+        Mmoo::mean_rate(self)
+    }
+    fn peak_rate(&self) -> f64 {
+        Mmoo::peak_rate(self)
+    }
+    fn s_max(&self) -> f64 {
+        600.0 / Mmoo::peak_rate(self)
+    }
+}
+
+impl TrafficSource for Mmp {
+    fn effective_bandwidth(&self, s: f64) -> f64 {
+        Mmp::effective_bandwidth(self, s)
+    }
+    fn mean_rate(&self) -> f64 {
+        Mmp::mean_rate(self)
+    }
+    fn peak_rate(&self) -> f64 {
+        Mmp::peak_rate(self)
+    }
+    fn s_max(&self) -> f64 {
+        600.0 / Mmp::peak_rate(self).max(1e-9)
+    }
+}
+
+impl TrafficSource for PoissonBatch {
+    fn effective_bandwidth(&self, s: f64) -> f64 {
+        PoissonBatch::effective_bandwidth(self, s)
+    }
+    fn mean_rate(&self) -> f64 {
+        PoissonBatch::mean_rate(self)
+    }
+    fn peak_rate(&self) -> f64 {
+        f64::INFINITY
+    }
+    fn s_max(&self) -> f64 {
+        600.0 / self.batch()
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn effective_bandwidth(&self, _s: f64) -> f64 {
+        self.rate()
+    }
+    fn mean_rate(&self) -> f64 {
+        self.rate()
+    }
+    fn peak_rate(&self) -> f64 {
+        self.rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let sources: Vec<Box<dyn TrafficSource>> = vec![
+            Box::new(Mmoo::paper_source()),
+            Box::new(Mmp::from_mmoo(&Mmoo::paper_source())),
+            Box::new(PoissonBatch::new(0.1, 1.5)),
+            Box::new(CbrSource::new(0.15)),
+        ];
+        for s in &sources {
+            let eb = s.effective_bandwidth(0.1);
+            assert!(eb >= s.mean_rate() - 1e-9);
+            assert!(eb <= s.peak_rate() + 1e-9);
+            let agg = s.ebb(0.1, 10);
+            assert!((agg.rho() - 10.0 * eb).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cbr_effective_bandwidth_is_rate() {
+        let c = CbrSource::new(2.0);
+        assert_eq!(TrafficSource::effective_bandwidth(&c, 5.0), 2.0);
+        assert_eq!(TrafficSource::peak_rate(&c), 2.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Available bandwidth vs *usable* bandwidth: the paper's introduction
+//! notes that bandwidth-estimation tools assume FIFO scheduling. This
+//! example quantifies what that assumption is worth.
+//!
+//! A constant-rate probe stream crosses `H` nodes that carry MMOO cross
+//! traffic. The *raw* available bandwidth, `C − ρ_c`, is
+//! scheduler-independent for every work-conserving discipline. But the
+//! probe rate that still meets a latency target (here: 30 ms at 10⁻⁶)
+//! depends strongly on the scheduler — and the gap persists (or not)
+//! with the path length exactly as the paper predicts.
+//!
+//! Run with `cargo run --release --example available_bandwidth`.
+
+use linksched::core::{PathScheduler, TandemPath};
+use linksched::traffic::{Ebb, Mmoo};
+
+const CAPACITY: f64 = 100.0;
+const N_CROSS: usize = 300; // per node; U_c ≈ 45%
+const SLA_MS: f64 = 30.0;
+const EPS: f64 = 1e-6;
+
+/// Delay bound of a CBR probe of rate `p` (a CBR stream satisfies the
+/// EBB bound exactly, for any decay), optimized over the moment
+/// parameter and γ.
+fn probe_bound(rate: f64, hops: usize, sched: PathScheduler) -> Option<f64> {
+    let src = Mmoo::paper_source();
+    let mut best: Option<f64> = None;
+    for i in 1..=40 {
+        let s = 0.002 * (1.35f64).powi(i);
+        if s * src.peak() > 600.0 {
+            break;
+        }
+        let through = Ebb::new(1.0, rate, s);
+        let cross = src.ebb(s, N_CROSS);
+        let path = TandemPath::new(CAPACITY, hops, through, cross, sched);
+        if let Some(b) = path.delay_bound(EPS) {
+            if best.is_none_or(|cur| b.delay < cur) {
+                best = Some(b.delay);
+            }
+        }
+    }
+    best
+}
+
+/// Largest probe rate meeting the SLA (bisection).
+fn usable_bandwidth(hops: usize, sched: PathScheduler) -> f64 {
+    let meets = |p: f64| matches!(probe_bound(p, hops, sched), Some(d) if d <= SLA_MS);
+    if !meets(0.5) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.5, CAPACITY);
+    for _ in 0..30 {
+        let mid = 0.5 * (lo + hi);
+        if meets(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() {
+    let src = Mmoo::paper_source();
+    let raw = CAPACITY - N_CROSS as f64 * src.mean_rate();
+    println!(
+        "Cross load: {N_CROSS} MMOO flows/node (mean {:.1} Mbps) on {CAPACITY:.0} Mbps links",
+        N_CROSS as f64 * src.mean_rate()
+    );
+    println!("Raw available bandwidth (scheduler-independent): {raw:.1} Mbps");
+    println!("Usable probe bandwidth at a {SLA_MS:.0} ms / {EPS:.0e} end-to-end SLA:\n");
+    println!("{:>4} {:>12} {:>12} {:>12}", "H", "BMUX", "FIFO", "SP(probe hi)");
+    for hops in [1usize, 2, 4, 8] {
+        let bmux = usable_bandwidth(hops, PathScheduler::Bmux);
+        let fifo = usable_bandwidth(hops, PathScheduler::Fifo);
+        let sp = usable_bandwidth(hops, PathScheduler::ThroughPriority);
+        println!("{hops:>4} {bmux:>9.1} Mb {fifo:>9.1} Mb {sp:>9.1} Mb");
+    }
+    println!(
+        "\nReading: what a FIFO-assuming estimation tool reports is honest on long\n\
+         paths (FIFO ≈ the scheduler-agnostic BMUX column), but a priority-scheduled\n\
+         probe could sustain far more — the latency-constrained view of the paper's\n\
+         conclusion that scheduling keeps mattering for differentiated traffic."
+    );
+}

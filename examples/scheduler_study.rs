@@ -1,0 +1,60 @@
+//! Does link scheduling matter on long paths? — a compact study.
+//!
+//! Sweeps the path length and prints the ratio of each scheduler's
+//! end-to-end delay bound to the blind-multiplexing bound, at low and
+//! moderate utilization. This is the paper's headline question in one
+//! table: FIFO's ratio drifts to 1 (scheduling stops mattering), EDF's
+//! does not.
+//!
+//! Run with `cargo run --release --example scheduler_study`.
+
+use linksched::core::{MmooTandem, PathScheduler};
+use linksched::traffic::Mmoo;
+
+fn main() {
+    let eps = 1e-9;
+    for (u_label, n_half) in [("30%", 100usize), ("60%", 200)] {
+        println!("\nU = {u_label} (N0 = Nc = {n_half}), ratios to the BMUX bound:");
+        println!(
+            "{:>4} {:>10} {:>12} {:>12} {:>12}",
+            "H", "BMUX [ms]", "FIFO/BMUX", "EDF/BMUX", "SP-hi/BMUX"
+        );
+        for hops in [1usize, 2, 4, 8, 16] {
+            let mk = |s: PathScheduler| MmooTandem {
+                source: Mmoo::paper_source(),
+                n_through: n_half,
+                n_cross: n_half,
+                capacity: 100.0,
+                hops,
+                scheduler: s,
+            };
+            let Some(bmux) = mk(PathScheduler::Bmux).delay_bound(eps) else {
+                println!("{hops:>4} unstable");
+                continue;
+            };
+            let bmux = bmux.bound.delay;
+            let fifo = mk(PathScheduler::Fifo).delay_bound(eps).map(|b| b.bound.delay);
+            let edf = mk(PathScheduler::Fifo)
+                .edf_delay_bound_fixed_point(eps, 10.0)
+                .map(|(b, _)| b.bound.delay);
+            let sp = mk(PathScheduler::ThroughPriority).delay_bound(eps).map(|b| b.bound.delay);
+            let ratio = |d: Option<f64>| match d {
+                Some(v) => format!("{:12.3}", v / bmux),
+                None => format!("{:>12}", "-"),
+            };
+            println!(
+                "{hops:>4} {bmux:>10.2} {} {} {}",
+                ratio(fifo),
+                ratio(edf),
+                ratio(sp)
+            );
+        }
+    }
+    println!(
+        "\nThe FIFO column answers the title question: on long paths FIFO's bound\n\
+         converges to blind multiplexing — the *scheduler-agnostic* bound — so for\n\
+         FIFO-like disciplines scheduling indeed stops mattering. The EDF and\n\
+         priority columns show the counterpoint: deadline- and priority-based\n\
+         disciplines keep a persistent advantage (the paper's conclusion)."
+    );
+}

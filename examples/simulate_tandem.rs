@@ -1,0 +1,68 @@
+//! Bound vs. reality: simulate a 3-hop tandem and overlay the
+//! analytical delay bounds on the empirical delay CCDF.
+//!
+//! Run with `cargo run --release --example simulate_tandem`.
+
+use linksched::core::{MmooTandem, PathScheduler};
+use linksched::sim::{SchedulerKind, SimConfig, TandemSim};
+use linksched::traffic::Mmoo;
+
+fn main() {
+    let source = Mmoo::paper_source();
+    let (capacity, hops, n_through, n_cross) = (20.0, 3usize, 40usize, 60usize);
+    println!(
+        "Simulating H = {hops} hops at {capacity} kb/ms with N0 = {n_through}, Nc = {n_cross} \
+         (U ≈ {:.0}%)\n",
+        (n_through + n_cross) as f64 * source.mean_rate() / capacity * 100.0
+    );
+
+    let cases = [
+        ("FIFO", PathScheduler::Fifo, SchedulerKind::Fifo),
+        ("BMUX", PathScheduler::Bmux, SchedulerKind::Bmux),
+        (
+            "EDF(10,40)",
+            PathScheduler::Edf { d_through: 10.0, d_cross: 40.0 },
+            SchedulerKind::Edf { d_through: 10.0, d_cross: 40.0 },
+        ),
+    ];
+    for (name, analysis_sched, sim_sched) in cases {
+        let analysis = MmooTandem {
+            source,
+            n_through,
+            n_cross,
+            capacity,
+            hops,
+            scheduler: analysis_sched,
+        };
+        let cfg = SimConfig {
+            capacity,
+            hops,
+            n_through,
+            n_cross,
+            source,
+            scheduler: sim_sched,
+            warmup: 10_000,
+            packet_size: None,
+        };
+        let mut stats = TandemSim::new(cfg, 2024).run(1_000_000);
+        println!("{name}: {} delay samples", stats.len());
+        println!("{:>10} {:>14} {:>14} {:>10}", "eps", "sim q(1-eps)", "bound", "margin");
+        for eps in [1e-1, 1e-2, 1e-3, 1e-4] {
+            let q = stats.quantile(1.0 - eps).unwrap_or(f64::NAN);
+            match analysis.delay_bound(eps) {
+                Some(b) => println!(
+                    "{eps:>10.0e} {q:>11.2} ms {:>11.2} ms {:>9.1}x",
+                    b.bound.delay,
+                    b.bound.delay / q.max(0.5)
+                ),
+                None => println!("{eps:>10.0e} {q:>11.2} ms {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+    println!(
+        "The bounds hold with a margin — they are worst-case-per-ε guarantees over\n\
+         all arrival processes in the EBB class, while the simulation draws one\n\
+         specific MMOO sample path."
+    );
+}

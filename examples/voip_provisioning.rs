@@ -1,0 +1,70 @@
+//! Admission control for a voice service: how much cross traffic can a
+//! long path absorb before a 100-flow voice aggregate misses its
+//! end-to-end delay budget?
+//!
+//! A carrier provisions 100 voice-like MMOO flows over an 8-hop path of
+//! 100 Mbps links with a 50 ms end-to-end delay budget at violation
+//! probability 10⁻⁶. For each scheduler, bisection over the number of
+//! cross flows per link finds the admission limit — quantifying in
+//! *capacity* terms what the choice of scheduler is worth.
+//!
+//! Run with `cargo run --release --example voip_provisioning`.
+
+use linksched::core::admission::{max_cross_flows, EdfMode};
+use linksched::core::{MmooTandem, PathScheduler};
+use linksched::traffic::Mmoo;
+
+const BUDGET_MS: f64 = 50.0;
+const EPS: f64 = 1e-6;
+const HOPS: usize = 8;
+const N_VOICE: usize = 100;
+
+/// Largest admissible cross-flow count meeting the budget, via the
+/// library's admission-control search.
+fn admission_limit(sched: PathScheduler, edf_ratio: Option<f64>) -> usize {
+    let tandem = MmooTandem {
+        source: Mmoo::paper_source(),
+        n_through: N_VOICE,
+        n_cross: 0, // varied by the search
+        capacity: 100.0,
+        hops: HOPS,
+        scheduler: sched,
+    };
+    let mode = match edf_ratio {
+        Some(ratio) => EdfMode::FixedPoint { cross_over_through: ratio },
+        None => EdfMode::AsConfigured,
+    };
+    max_cross_flows(&tandem, BUDGET_MS, EPS, mode).flows
+}
+
+fn main() {
+    println!(
+        "Voice admission control: {N_VOICE} voice flows, H = {HOPS} hops, \
+         budget {BUDGET_MS} ms at eps = {EPS:.0e}\n"
+    );
+    println!(
+        "{:>22} {:>12} {:>14} {:>12}",
+        "scheduler", "max Nc", "cross load", "link util"
+    );
+    let mean = Mmoo::paper_source().mean_rate();
+    for (name, sched, ratio) in [
+        ("BMUX (worst case)", PathScheduler::Bmux, None),
+        ("FIFO", PathScheduler::Fifo, None),
+        ("EDF d*0 = d*c/10", PathScheduler::Fifo, Some(10.0)),
+        ("SP (voice priority)", PathScheduler::ThroughPriority, None),
+    ] {
+        let n = admission_limit(sched, ratio);
+        let cross_mbps = n as f64 * mean;
+        let util = (N_VOICE + n) as f64 * mean / 100.0;
+        println!(
+            "{name:>22} {n:>12} {cross_mbps:>11.1} Mb {:>11.1}%",
+            util * 100.0
+        );
+    }
+    println!(
+        "\nReading: every admission gap between rows is capacity a scheduler-aware\n\
+         deployment recovers on this path — the paper's Section V message in\n\
+         provisioning terms. (BMUX assumes nothing about the scheduler; FIFO adds\n\
+         little on a long path; deadline-based scheduling adds a lot.)"
+    );
+}

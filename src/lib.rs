@@ -1,0 +1,19 @@
+//! `linksched` — umbrella crate for the ICDCS 2010 reproduction
+//! *"Does Link Scheduling Matter on Long Paths?"*.
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`minplus`] — min-plus algebra (curves, convolution, deviations),
+//! * [`traffic`] — stochastic traffic models (EBB, MMOO, envelopes),
+//! * [`core`] — Δ-schedulers and the end-to-end delay-bound analysis,
+//! * [`sim`] — the discrete-time tandem-network simulator.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for
+//! the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use nc_core as core;
+pub use nc_minplus as minplus;
+pub use nc_sim as sim;
+pub use nc_traffic as traffic;

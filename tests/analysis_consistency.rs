@@ -1,0 +1,164 @@
+//! Cross-module consistency of the analysis stack: the same physical
+//! question answered through different code paths must agree.
+
+use linksched::core::e2e::{closed_forms, netbound};
+use linksched::core::{
+    deterministic_delay_bound, DeltaScheduler, LeakyBucket, MmooTandem, PathScheduler,
+    TandemPath,
+};
+use linksched::minplus::Curve;
+use linksched::traffic::{DetEnvelope, Ebb, Mmoo};
+
+/// H = 1 end-to-end analysis vs the single-node analysis of Section
+/// III-B: same service curve family, same bound combination — the
+/// results must agree closely (the e2e path spends one extra slot-sum
+/// union bound, so it may be slightly larger, never smaller).
+#[test]
+fn single_hop_e2e_matches_single_node_analysis() {
+    let src = Mmoo::paper_source();
+    let s = 0.05;
+    let gamma = 0.5;
+    let eps = 1e-9;
+    let n_through = 50;
+    let n_cross = 200;
+    let c = 100.0;
+
+    // Single-node (Section III-B) with the same fixed s and γ.
+    let envs = vec![
+        src.ebb(s, n_through).sample_path_envelope(gamma),
+        src.ebb(s, n_cross).sample_path_envelope(gamma),
+    ];
+    let node = linksched::core::single_node_delay_bound(
+        c,
+        &DeltaScheduler::fifo(2),
+        &envs,
+        0,
+        eps,
+    )
+    .expect("stable");
+
+    // End-to-end machinery at H = 1, same s and γ.
+    let path = TandemPath::new(c, 1, src.ebb(s, n_through), src.ebb(s, n_cross), PathScheduler::Fifo);
+    let e2e = path.delay_bound_at_gamma(eps, gamma).expect("stable");
+
+    let rel = (e2e.delay - node.delay).abs() / node.delay;
+    assert!(
+        rel < 0.05,
+        "H=1 e2e {} vs single-node {} differ by {rel:.3}",
+        e2e.delay,
+        node.delay
+    );
+}
+
+/// The deterministic γ = 0 module vs the classical min-plus pipeline
+/// (per-node leftover rate-latency curves convolved into a network
+/// service curve) for blind multiplexing.
+#[test]
+fn deterministic_case_matches_minplus_for_every_hop_count() {
+    let c = 50.0;
+    let through = LeakyBucket::new(5.0, 20.0);
+    let cross = LeakyBucket::new(20.0, 30.0);
+    for hops in 1..=12 {
+        let analytic =
+            deterministic_delay_bound(c, hops, through, cross, PathScheduler::Bmux).unwrap();
+        let leftover = Curve::rate_latency(c - cross.rate, cross.burst / (c - cross.rate));
+        let mut net = Curve::delta(0.0);
+        for _ in 0..hops {
+            net = net.convolve(&leftover);
+        }
+        let env = Curve::token_bucket(through.rate, through.burst);
+        let minplus = env.h_deviation(&net).unwrap();
+        assert!(
+            (analytic - minplus).abs() / minplus < 1e-9,
+            "H={hops}: {analytic} vs {minplus}"
+        );
+    }
+}
+
+/// The closed-form FIFO and BMUX delay expressions vs the production
+/// `TandemPath` pipeline at a pinned (s, γ).
+#[test]
+fn closed_forms_agree_with_pipeline() {
+    let through = Ebb::new(1.0, 12.0, 0.08);
+    let cross = Ebb::new(1.0, 45.0, 0.08);
+    let eps = 1e-9;
+    let gamma = 0.3;
+    for hops in [2usize, 6, 12] {
+        let sigma = netbound::sigma_for(&through, &vec![cross; hops], gamma, eps);
+        let bmux_cf = closed_forms::bmux_delay(100.0, gamma, cross.rho(), hops, sigma).unwrap();
+        let fifo_cf = closed_forms::fifo_delay(100.0, gamma, cross.rho(), hops, sigma).unwrap();
+        let bmux = TandemPath::new(100.0, hops, through, cross, PathScheduler::Bmux)
+            .delay_bound_at_gamma(eps, gamma)
+            .unwrap()
+            .delay;
+        let fifo = TandemPath::new(100.0, hops, through, cross, PathScheduler::Fifo)
+            .delay_bound_at_gamma(eps, gamma)
+            .unwrap()
+            .delay;
+        assert!((bmux_cf - bmux).abs() / bmux < 1e-6, "BMUX H={hops}: {bmux_cf} vs {bmux}");
+        // The closed-form FIFO expression follows the paper's explicit
+        // (near-optimal) choice; the pipeline optimizes exactly.
+        assert!(fifo <= fifo_cf * (1.0 + 1e-9), "FIFO H={hops}: pipeline above closed form");
+        assert!(fifo_cf <= fifo * 1.05, "FIFO H={hops}: closed form {fifo_cf} far from {fifo}");
+    }
+}
+
+/// Theorem-1 curves vs the Eq. (24) schedulability machinery: the
+/// minimal feasible delay from bisection must equal the horizontal
+/// deviation of the envelope against the θ-optimal service curve.
+#[test]
+fn theorem1_curve_reproduces_schedulability_delay() {
+    let c = 10.0;
+    let envs = vec![
+        DetEnvelope::leaky_bucket(2.0, 4.0),
+        DetEnvelope::leaky_bucket(3.0, 6.0),
+    ];
+    for sched in [
+        DeltaScheduler::fifo(2),
+        DeltaScheduler::bmux(2, 0),
+        DeltaScheduler::edf(&[3.0, 9.0]),
+        DeltaScheduler::edf(&[9.0, 3.0]),
+    ] {
+        let d = linksched::core::min_feasible_delay(c, &sched, &envs, 0).unwrap();
+        // Build the Theorem-1 curve at θ = d and check the deviation.
+        let service = linksched::core::deterministic_leftover(c, &sched, &envs, 0, d);
+        let dev = envs[0].curve().h_deviation(&service).unwrap();
+        assert!(
+            dev <= d + 1e-6,
+            "{sched:?}: deviation {dev} exceeds minimal feasible delay {d}"
+        );
+        // And the bound is tight: a 10% smaller θ/d must not suffice.
+        let service_small = linksched::core::deterministic_leftover(c, &sched, &envs, 0, 0.9 * d);
+        let dev_small = envs[0].curve().h_deviation(&service_small);
+        assert!(
+            dev_small.is_none() || dev_small.unwrap() > 0.9 * d - 1e-6,
+            "{sched:?}: a smaller delay target would also be feasible — not tight"
+        );
+    }
+}
+
+/// The MmooTandem s-optimization must never do worse than any pinned s.
+#[test]
+fn s_optimization_dominates_pinned_s() {
+    let tandem = MmooTandem {
+        source: Mmoo::paper_source(),
+        n_through: 100,
+        n_cross: 150,
+        capacity: 100.0,
+        hops: 3,
+        scheduler: PathScheduler::Fifo,
+    };
+    let eps = 1e-9;
+    let opt = tandem.delay_bound(eps).unwrap().bound.delay;
+    for s in [0.01, 0.03, 0.05, 0.1, 0.2] {
+        if let Some(path) = tandem.path_at(s) {
+            if let Some(b) = path.delay_bound(eps) {
+                assert!(
+                    opt <= b.delay * (1.0 + 1e-6),
+                    "optimized {opt} beaten at pinned s={s}: {}",
+                    b.delay
+                );
+            }
+        }
+    }
+}
