@@ -5,8 +5,7 @@ use nc_minplus::{Curve, SampledCurve};
 use std::hint::black_box;
 
 fn many_piece_concave(n: usize) -> Curve {
-    let pieces: Vec<(f64, f64)> =
-        (1..=n).map(|i| (50.0 / i as f64, 2.0 * i as f64)).collect();
+    let pieces: Vec<(f64, f64)> = (1..=n).map(|i| (50.0 / i as f64, 2.0 * i as f64)).collect();
     Curve::concave_from_token_buckets(&pieces).expect("valid token buckets")
 }
 
@@ -51,12 +50,8 @@ fn bench_deviations(c: &mut Criterion) {
     let mut g = c.benchmark_group("deviations");
     let f = many_piece_concave(32);
     let srv = Curve::rate_latency(60.0, 3.0);
-    g.bench_function("h_deviation_32pc", |b| {
-        b.iter(|| black_box(&f).h_deviation(black_box(&srv)))
-    });
-    g.bench_function("v_deviation_32pc", |b| {
-        b.iter(|| black_box(&f).v_deviation(black_box(&srv)))
-    });
+    g.bench_function("h_deviation_32pc", |b| b.iter(|| black_box(&f).h_deviation(black_box(&srv))));
+    g.bench_function("v_deviation_32pc", |b| b.iter(|| black_box(&f).v_deviation(black_box(&srv))));
     g.finish();
 }
 

@@ -12,11 +12,7 @@ use std::hint::black_box;
 
 fn homogeneous(gamma: f64, rho_c: f64, delta: f64, hops: usize) -> Vec<NodeParams> {
     (1..=hops)
-        .map(|h| NodeParams {
-            c_eff: CAPACITY - (h as f64 - 1.0) * gamma,
-            r: rho_c + gamma,
-            delta,
-        })
+        .map(|h| NodeParams { c_eff: CAPACITY - (h as f64 - 1.0) * gamma, r: rho_c + gamma, delta })
         .collect()
 }
 

@@ -8,30 +8,34 @@
 //!    slack.
 //! 3. **γ-grid resolution**: bound quality as a function of the outer
 //!    grid density.
+//! 4. **Monte Carlo engine**: parallel speedup over the sequential
+//!    baseline (with a bitwise-equality check on the merged statistics)
+//!    and streaming-reservoir fidelity against exact collection.
 //!
-//! Run with `cargo run --release -p nc-bench --bin ablation`.
+//! Run with `cargo run --release -p nc-bench --bin ablation --
+//! [--reps N] [--threads N] [--seed N] [--slots N]` (the flags affect
+//! ablation 4 only).
 
-use nc_bench::{flows_for_utilization, tandem, CAPACITY, EPSILON};
+use nc_bench::{flows_for_utilization, tandem, RunOpts, CAPACITY, EPSILON};
 use nc_core::e2e::netbound;
 use nc_core::e2e::optimizer::{explicit, solve, NodeParams};
 use nc_core::PathScheduler;
-use nc_traffic::{Ebb, ExpBound};
+use nc_sim::{MonteCarlo, SchedulerKind, SimConfig};
+use nc_traffic::{Ebb, ExpBound, Mmoo};
 use std::time::Instant;
 
 fn homogeneous(gamma: f64, rho_c: f64, delta: f64, hops: usize) -> Vec<NodeParams> {
     (1..=hops)
-        .map(|h| NodeParams {
-            c_eff: CAPACITY - (h as f64 - 1.0) * gamma,
-            r: rho_c + gamma,
-            delta,
-        })
+        .map(|h| NodeParams { c_eff: CAPACITY - (h as f64 - 1.0) * gamma, r: rho_c + gamma, delta })
         .collect()
 }
 
 fn main() {
+    let opts = RunOpts::from_env(8, 50_000);
     ablation_optimizer();
     ablation_slack_split();
     ablation_gamma_grid();
+    ablation_engine(&opts);
 }
 
 /// Explicit (paper) vs numeric (exact) optimizer.
@@ -87,9 +91,8 @@ fn ablation_slack_split() {
     let gamma = 0.05;
     let through = Ebb::new(1.0, 15.0, 0.5);
     for hops in [1usize, 2, 5, 10, 20] {
-        let cross: Vec<Ebb> = (0..hops)
-            .map(|h| Ebb::new(1.0, 40.0, if h % 2 == 0 { 0.08 } else { 0.25 }))
-            .collect();
+        let cross: Vec<Ebb> =
+            (0..hops).map(|h| Ebb::new(1.0, 40.0, if h % 2 == 0 { 0.08 } else { 0.25 })).collect();
         let exact = netbound::sigma_for(&through, &cross, gamma, EPSILON);
         // Equal split: each of the H+1 terms gets σ/(H+1) and must reach
         // eps/(H+1): σ_equal = (H+1)·max_k σ_k(eps/(H+1)).
@@ -100,10 +103,7 @@ fn ablation_slack_split() {
         }
         terms.push(through.interval_bound().geometric_sum(gamma));
         let n = terms.len() as f64;
-        let equal = terms
-            .iter()
-            .map(|t| t.sigma_for(EPSILON / n).unwrap_or(0.0))
-            .sum::<f64>();
+        let equal = terms.iter().map(|t| t.sigma_for(EPSILON / n).unwrap_or(0.0)).sum::<f64>();
         println!(
             "{:>4} {:>14.2} {:>14.2} {:>9.2}",
             hops,
@@ -137,12 +137,59 @@ fn ablation_gamma_grid() {
                 best = best.min(b.delay);
             }
         }
-        println!(
-            "{:>8} {:>12.3} {:>10.3}",
-            points,
-            best,
-            100.0 * (best - ref_delay) / ref_delay
-        );
+        println!("{:>8} {:>12.3} {:>10.3}", points, best, 100.0 * (best - ref_delay) / ref_delay);
     }
     println!("reference (s and γ optimized with refinement): {ref_delay:.3} ms at s = {s_star:.4}");
+}
+
+/// Parallel engine speedup + determinism, and streaming-vs-exact
+/// fidelity, on a validation-sized cell.
+fn ablation_engine(opts: &RunOpts) {
+    println!("\n# Ablation 4 — Monte Carlo engine ({} reps x {} slots)", opts.reps, opts.slots);
+    let cfg = SimConfig {
+        capacity: 20.0,
+        hops: 2,
+        n_through: 40,
+        n_cross: 60,
+        source: Mmoo::paper_source(),
+        scheduler: SchedulerKind::Fifo,
+        warmup: 5_000,
+        packet_size: None,
+    };
+    // (a) Wall-clock vs thread count; merged statistics must be
+    // bitwise-identical across runs.
+    let seq = opts.monte_carlo(&[]).threads(1);
+    let t0 = Instant::now();
+    let mut merged_seq = seq.run(cfg);
+    let t_seq = t0.elapsed();
+    let par = opts.monte_carlo(&[]);
+    let workers = par.effective_threads();
+    let t1 = Instant::now();
+    let mut merged_par = par.run(cfg);
+    let t_par = t1.elapsed();
+    let q = 0.999;
+    let identical = merged_seq.merged.len() == merged_par.merged.len()
+        && merged_seq.merged.mean().map(f64::to_bits) == merged_par.merged.mean().map(f64::to_bits)
+        && merged_seq.merged.quantile(q).map(f64::to_bits)
+            == merged_par.merged.quantile(q).map(f64::to_bits)
+        && merged_seq.merged.samples() == merged_par.merged.samples();
+    println!(
+        "threads=1: {:.2}s   threads={workers}: {:.2}s   speedup: {:.2}x   bitwise identical: {}",
+        t_seq.as_secs_f64(),
+        t_par.as_secs_f64(),
+        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
+        if identical { "yes" } else { "NO" }
+    );
+    // (b) Streaming reservoir vs exact collection: moments must agree
+    // exactly, quantiles up to reservoir resolution.
+    let mut exact =
+        MonteCarlo::new(opts.reps, opts.slots, opts.seed).threads(opts.threads).run(cfg);
+    let mean_gap =
+        (merged_par.merged.mean().unwrap_or(0.0) - exact.merged.mean().unwrap_or(0.0)).abs();
+    let q_stream = merged_par.merged.quantile(q).unwrap_or(f64::NAN);
+    let q_exact = exact.merged.quantile(q).unwrap_or(f64::NAN);
+    println!(
+        "streaming vs exact: mean gap {mean_gap:.2e}   q({q}) {q_stream:.2} vs {q_exact:.2} ({:+.2}%)",
+        100.0 * (q_stream - q_exact) / q_exact
+    );
 }

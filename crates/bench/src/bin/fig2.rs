@@ -4,24 +4,43 @@
 //! `H = 2, 5, 10`, with `U_0 = 15%` (N₀ = 100 through flows) held
 //! constant and `ε = 10⁻⁹`.
 //!
-//! Run with `cargo run --release -p nc-bench --bin fig2`.
+//! Run with `cargo run --release -p nc-bench --bin fig2 --
+//! [--sim [--reps N] [--threads N] [--seed N] [--slots N]]`.
+//!
+//! With `--sim`, a Monte Carlo overlay column reports the simulated
+//! FIFO `q(1 − 10⁻³)` (merged over `--reps` seed-derived replications,
+//! with the across-replication spread) — a lower reference point every
+//! valid ε = 10⁻⁹ bound must exceed.
 //!
 //! Expected shape (paper, Section V-A): FIFO indistinguishable from
 //! BMUX from `H = 5` on; EDF noticeably lower with the gap growing in
 //! `H`; all bounds exploding as `U → 95%`.
 
-use nc_bench::{flows_for_utilization, tandem, EPSILON};
+use nc_bench::{flows_for_utilization, sim_overlay, tandem, RunOpts, EPSILON, OVERLAY_EPS};
 use nc_core::PathScheduler;
 
 fn main() {
+    let opts = RunOpts::from_env(4, 20_000);
     let n_through = flows_for_utilization(0.15); // N0 = 100
     println!("# Fig. 2 — delay bounds [ms] vs total utilization U");
     println!("# N0 = {n_through} (U0 = 15%), eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
+    if opts.sim {
+        println!(
+            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
+            opts.reps, opts.slots, opts.seed
+        );
+    }
     for hops in [2usize, 5, 10] {
         println!("\n## H = {hops}");
         println!(
-            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}",
-            "U[%]", "Nc", "BMUX", "FIFO", "EDF", "FIFO/BMUX"
+            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}{}",
+            "U[%]",
+            "Nc",
+            "BMUX",
+            "FIFO",
+            "EDF",
+            "FIFO/BMUX",
+            if opts.sim { "  simFIFO q [spread]" } else { "" }
         );
         let mut u = 0.20;
         while u <= 0.951 {
@@ -40,14 +59,20 @@ fn main() {
                 (Some(f), Some(b)) => format!("{:12.4}", f / b),
                 _ => format!("{:>12}", "-"),
             };
+            let overlay = if opts.sim {
+                format!("  {}", sim_overlay(&opts, n_through, n_cross, hops))
+            } else {
+                String::new()
+            };
             println!(
-                "{:>6.0} {:>6} {} {} {} {}",
+                "{:>6.0} {:>6} {} {} {} {}{}",
                 u * 100.0,
                 n_cross,
                 nc_bench::fmt(bmux),
                 nc_bench::fmt(fifo),
                 nc_bench::fmt(edf),
-                ratio
+                ratio,
+                overlay
             );
             u += 0.05;
         }

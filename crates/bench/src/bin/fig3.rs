@@ -8,26 +8,44 @@
 //! ratio is 2) and longer through deadlines (`d*_0 = 2·d*_c`, ratio
 //! 1/2).
 //!
-//! Run with `cargo run --release -p nc-bench --bin fig3`.
+//! Run with `cargo run --release -p nc-bench --bin fig3 --
+//! [--sim [--reps N] [--threads N] [--seed N] [--slots N]]`.
+//!
+//! With `--sim`, a Monte Carlo overlay column reports the simulated
+//! FIFO `q(1 − 10⁻³)` with its across-replication spread (see `fig2`).
 //!
 //! Expected shape (paper, Section V-B): at `H = 2` the EDF(short)
 //! bounds are nearly insensitive to the mix (even decreasing), while
 //! BMUX/FIFO grow steeply with the cross share; as `H` grows all
 //! schedulers drift toward BMUX behaviour.
 
-use nc_bench::{flows_for_utilization, tandem, EPSILON};
+use nc_bench::{flows_for_utilization, sim_overlay, tandem, RunOpts, EPSILON, OVERLAY_EPS};
 use nc_core::PathScheduler;
 
 fn main() {
+    let opts = RunOpts::from_env(4, 20_000);
     let u_total = 0.50;
     let n_total = flows_for_utilization(u_total);
     println!("# Fig. 3 — delay bounds [ms] vs traffic mix Uc/U (U = 50%)");
     println!("# N_total = {n_total}, eps = {EPSILON:.0e}");
+    if opts.sim {
+        println!(
+            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
+            opts.reps, opts.slots, opts.seed
+        );
+    }
     for hops in [2usize, 5, 10] {
         println!("\n## H = {hops}");
         println!(
-            "{:>6} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12}",
-            "Uc/U", "N0", "Nc", "BMUX", "FIFO", "EDF(d0<dc)", "EDF(d0>dc)"
+            "{:>6} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12}{}",
+            "Uc/U",
+            "N0",
+            "Nc",
+            "BMUX",
+            "FIFO",
+            "EDF(d0<dc)",
+            "EDF(d0>dc)",
+            if opts.sim { "  simFIFO q [spread]" } else { "" }
         );
         for mix_pct in (10..=90).step_by(10) {
             let mix = mix_pct as f64 / 100.0;
@@ -52,8 +70,13 @@ fn main() {
                 .map(|(b, _)| b.bound.delay);
             let edf_short = nc_bench::fmt(edf_short);
             let edf_long = nc_bench::fmt(edf_long);
+            let overlay = if opts.sim {
+                format!("  {}", sim_overlay(&opts, n_through, n_cross, hops))
+            } else {
+                String::new()
+            };
             println!(
-                "{:>6.2} {:>6} {:>6} {} {} {:>12} {:>12}",
+                "{:>6.2} {:>6} {:>6} {} {} {:>12} {:>12}{}",
                 mix,
                 n_through,
                 n_cross,
@@ -61,6 +84,7 @@ fn main() {
                 nc_bench::fmt(fifo),
                 edf_short.trim(),
                 edf_long.trim(),
+                overlay,
             );
         }
     }

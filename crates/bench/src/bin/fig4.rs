@@ -3,7 +3,13 @@
 //! (`U_0 = U_c`), for total utilizations `U = 10, 50, 90%` and
 //! `ε = 10⁻⁹`. Includes the additive node-by-node BMUX baseline.
 //!
-//! Run with `cargo run --release -p nc-bench --bin fig4`.
+//! Run with `cargo run --release -p nc-bench --bin fig4 --
+//! [--sim [--reps N] [--threads N] [--seed N] [--slots N]]`.
+//!
+//! With `--sim`, a Monte Carlo overlay column reports the simulated
+//! FIFO `q(1 − 10⁻³)` with its across-replication spread (see `fig2`).
+//! Note the overlay simulates every node of the path, so the deep-`H`
+//! high-`U` rows dominate the runtime.
 //!
 //! Expected shape (paper, Section V-C): the additive analysis blows up
 //! super-linearly (`O(H³ log H)` in discrete time), the network-
@@ -11,18 +17,30 @@
 //! and BMUX appear identical over the whole range, and EDF stays
 //! noticeably lower at the higher utilizations.
 
-use nc_bench::{flows_for_utilization, tandem, EPSILON};
+use nc_bench::{flows_for_utilization, sim_overlay, tandem, RunOpts, EPSILON, OVERLAY_EPS};
 use nc_core::PathScheduler;
 
 fn main() {
+    let opts = RunOpts::from_env(4, 20_000);
     println!("# Fig. 4 — delay bounds [ms] vs path length H (N0 = Nc)");
     println!("# eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
+    if opts.sim {
+        println!(
+            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
+            opts.reps, opts.slots, opts.seed
+        );
+    }
     for u in [0.10, 0.50, 0.90] {
         let n_half = flows_for_utilization(u) / 2;
         println!("\n## U = {:.0}% (N0 = Nc = {n_half})", u * 100.0);
         println!(
-            "{:>4} {:>12} {:>10} {:>10} {:>10}",
-            "H", "BMUX-add", "BMUX", "FIFO", "EDF"
+            "{:>4} {:>12} {:>10} {:>10} {:>10}{}",
+            "H",
+            "BMUX-add",
+            "BMUX",
+            "FIFO",
+            "EDF",
+            if opts.sim { "  simFIFO q [spread]" } else { "" }
         );
         for hops in [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30] {
             let additive =
@@ -36,13 +54,19 @@ fn main() {
             let edf = tandem(n_half, n_half, hops, PathScheduler::Fifo)
                 .edf_delay_bound_fixed_point(EPSILON, 10.0)
                 .map(|(b, _)| b.bound.delay);
+            let overlay = if opts.sim {
+                format!("  {}", sim_overlay(&opts, n_half, n_half, hops))
+            } else {
+                String::new()
+            };
             println!(
-                "{:>4} {:>12} {} {} {}",
+                "{:>4} {:>12} {} {} {}{}",
                 hops,
                 nc_bench::fmt(additive).trim_start(),
                 nc_bench::fmt(bmux),
                 nc_bench::fmt(fifo),
-                nc_bench::fmt(edf)
+                nc_bench::fmt(edf),
+                overlay
             );
         }
     }

@@ -2,41 +2,49 @@
 //! the paper has no system artifact to validate against).
 //!
 //! For each scheduler, computes the analytical end-to-end delay bound
-//! at ε = 10⁻³ on a scaled-down tandem and compares it with the
-//! simulated delay quantile at the same violation level, plus the
-//! empirical violation frequency of the bound. A valid bound satisfies
+//! at ε = 10⁻³ on a scaled-down tandem and compares it with simulated
+//! delay quantiles at the same violation level, plus the empirical
+//! violation frequency of the bound. A valid bound satisfies
 //! `sim quantile ≤ bound` and `P̂(W > bound) ≤ ε`.
 //!
-//! Run with `cargo run --release -p nc-bench --bin validate`.
+//! Simulation runs through [`nc_sim::MonteCarlo`]: `--reps` independent
+//! replications (seeds derived from `--seed` via SplitMix64) are fanned
+//! across `--threads` workers and merged; next to each merged estimate
+//! the table reports the min–max spread of the per-replication
+//! estimates — an across-replication confidence envelope. Output is
+//! bitwise-identical for any `--threads` value.
+//!
+//! Run with `cargo run --release -p nc-bench --bin validate --
+//! [--reps N] [--threads N] [--seed N] [--slots N]`.
 
+use nc_bench::RunOpts;
 use nc_core::{MmooTandem, PathScheduler};
-use nc_sim::{SchedulerKind, SimConfig, TandemSim};
+use nc_sim::{MonteCarloReport, SchedulerKind, SimConfig};
 use nc_traffic::Mmoo;
 
 fn main() {
+    let opts = RunOpts::from_env(8, 250_000);
     let source = Mmoo::paper_source();
     let capacity = 20.0; // scaled down so simulation reaches the tail
     let eps = 1e-3;
-    let slots = 2_000_000u64;
     println!("# Analytical bounds vs simulation (C = {capacity} kb/ms, eps = {eps:.0e})");
-    println!("# {slots} slots per cell, warmup 10k slots");
+    println!(
+        "# {} reps x {} slots (warmup 10k each), master seed {:#x}, spread = min..max over reps",
+        opts.reps, opts.slots, opts.seed
+    );
     for (hops, n_through, n_cross) in [(1usize, 40, 60), (2, 40, 60), (4, 40, 60)] {
         println!(
             "\n## H = {hops}, N0 = {n_through}, Nc = {n_cross} (U ≈ {:.0}%)",
             (n_through + n_cross) as f64 * source.mean_rate() / capacity * 100.0
         );
         println!(
-            "{:>18} {:>10} {:>12} {:>14} {:>8}",
-            "scheduler", "bound", "sim q(1-eps)", "P(W>bound)", "valid"
+            "{:>18} {:>10} {:>12} {:>17} {:>12} {:>21} {:>14}",
+            "scheduler", "bound", "sim q(1-eps)", "q spread", "P(W>bound)", "P spread", "valid"
         );
         let cases: Vec<(&str, PathScheduler, SchedulerKind)> = vec![
             ("FIFO", PathScheduler::Fifo, SchedulerKind::Fifo),
             ("BMUX", PathScheduler::Bmux, SchedulerKind::Bmux),
-            (
-                "SP(through hi)",
-                PathScheduler::ThroughPriority,
-                SchedulerKind::ThroughPriority,
-            ),
+            ("SP(through hi)", PathScheduler::ThroughPriority, SchedulerKind::ThroughPriority),
             (
                 "EDF(10,40)",
                 PathScheduler::Edf { d_through: 10.0, d_cross: 40.0 },
@@ -53,31 +61,28 @@ fn main() {
                 scheduler: analysis_sched,
             };
             let bound = analysis.delay_bound(eps).map(|b| b.bound.delay);
-            let cfg = SimConfig {
-                capacity,
-                hops,
-                n_through,
-                n_cross,
-                source,
-                scheduler: sim_sched,
-                warmup: 10_000,
-                packet_size: None,
-            };
-            let mut stats = TandemSim::new(cfg, 0xF1D0).run(slots);
-            let q = stats.quantile(1.0 - eps).unwrap_or(f64::NAN);
-            let (viol, valid) = match bound {
+            let mut report =
+                run_cell(&opts, cfg(capacity, hops, n_through, n_cross, sim_sched, source), bound);
+            let q = report.merged.quantile(1.0 - eps).unwrap_or(f64::NAN);
+            let (viol, pspread, valid) = match bound {
                 Some(b) => {
-                    let v = stats.violation_fraction(b);
-                    (format!("{v:14.2e}"), if q <= b && v <= eps { "yes" } else { "NO" })
+                    let v = report.merged.violation_fraction(b);
+                    (
+                        format!("{v:12.2e}"),
+                        fmt_spread_sci(report.violation_spread(b)),
+                        if q <= b && v <= eps { "yes" } else { "NO" },
+                    )
                 }
-                None => (format!("{:>14}", "-"), "-"),
+                None => (format!("{:>12}", "-"), format!("{:>21}", "-"), "-"),
             };
             println!(
-                "{:>18} {} {:>12.2} {} {:>8}",
+                "{:>18} {} {:>12.2} {} {} {} {:>14}",
                 name,
                 nc_bench::fmt(bound),
                 q,
+                fmt_spread(report.quantile_spread(1.0 - eps)),
                 viol,
+                pspread,
                 valid
             );
         }
@@ -93,30 +98,65 @@ fn main() {
         }
         .delay_bound(eps)
         .map(|b| b.bound.delay);
-        let cfg = SimConfig {
-            capacity,
-            hops,
-            n_through,
-            n_cross,
-            source,
-            scheduler: SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 },
-            warmup: 10_000,
-            packet_size: None,
-        };
-        let mut stats = TandemSim::new(cfg, 0xF1D0).run(slots);
-        let q = stats.quantile(1.0 - eps).unwrap_or(f64::NAN);
+        let gps = SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 };
+        let mut report =
+            run_cell(&opts, cfg(capacity, hops, n_through, n_cross, gps, source), bmux_bound);
+        let q = report.merged.quantile(1.0 - eps).unwrap_or(f64::NAN);
         let note = match bmux_bound {
             Some(b) if q <= b => "yes (vs BMUX)",
             Some(_) => "NO (vs BMUX)",
             None => "-",
         };
         println!(
-            "{:>18} {} {:>12.2} {:>14} {:>8}",
+            "{:>18} {} {:>12.2} {} {:>12} {:>21} {:>14}",
             "GPS(1:1)",
             nc_bench::fmt(bmux_bound),
             q,
+            fmt_spread(report.quantile_spread(1.0 - eps)),
+            "n/a",
             "n/a",
             note
         );
+    }
+}
+
+fn cfg(
+    capacity: f64,
+    hops: usize,
+    n_through: usize,
+    n_cross: usize,
+    scheduler: SchedulerKind,
+    source: Mmoo,
+) -> SimConfig {
+    SimConfig {
+        capacity,
+        hops,
+        n_through,
+        n_cross,
+        source,
+        scheduler,
+        warmup: 10_000,
+        packet_size: None,
+    }
+}
+
+/// Runs one table cell: `opts.reps` replications merged through the
+/// engine, tracking the cell's bound as an exact threshold.
+fn run_cell(opts: &RunOpts, cfg: SimConfig, bound: Option<f64>) -> MonteCarloReport {
+    let thresholds: Vec<f64> = bound.into_iter().collect();
+    opts.monte_carlo(&thresholds).run(cfg)
+}
+
+fn fmt_spread(s: Option<(f64, f64)>) -> String {
+    match s {
+        Some((lo, hi)) => format!("{:>17}", format!("[{lo:.2}, {hi:.2}]")),
+        None => format!("{:>17}", "-"),
+    }
+}
+
+fn fmt_spread_sci(s: Option<(f64, f64)>) -> String {
+    match s {
+        Some((lo, hi)) => format!("{:>21}", format!("[{lo:.1e}, {hi:.1e}]")),
+        None => format!("{:>21}", "-"),
     }
 }

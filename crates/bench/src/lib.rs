@@ -19,7 +19,9 @@
 #![warn(missing_docs)]
 
 use nc_core::{MmooTandem, PathScheduler};
+use nc_sim::MonteCarlo;
 use nc_traffic::Mmoo;
+use std::str::FromStr;
 
 /// The paper's per-flow mean rate used in the utilization convention
 /// (`U = N · 0.15 / C`; the exact MMOO mean is ≈0.1486).
@@ -57,6 +59,121 @@ pub fn fmt(d: Option<f64>) -> String {
     }
 }
 
+/// Usage text for the options shared by the binaries.
+pub const USAGE: &str = "options:
+  --reps N      independent Monte Carlo replications (seed-derived)
+  --threads N   worker threads (0 = auto-detect; default)
+  --seed N      master seed; per-replication seeds derive from it
+  --slots N     simulated slots per replication
+  --sim         add simulated-quantile overlay columns (figure binaries)
+  -h, --help    show this help";
+
+/// Command-line options shared by the figure/validation binaries:
+/// `--reps`, `--threads`, `--seed`, `--slots`, `--sim`.
+///
+/// The same master seed always produces the same output, regardless of
+/// `--threads` (see [`MonteCarlo`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOpts {
+    /// Independent replications per table cell.
+    pub reps: usize,
+    /// Worker threads (`0` = auto-detect).
+    pub threads: usize,
+    /// Master seed for per-replication seed derivation.
+    pub seed: u64,
+    /// Simulated slots per replication.
+    pub slots: u64,
+    /// Whether simulation overlay columns were requested (`--sim`).
+    pub sim: bool,
+}
+
+impl RunOpts {
+    /// Binary-specific defaults: `reps` replications of `slots` slots,
+    /// auto thread count, a fixed default master seed, no overlay.
+    pub fn new(reps: usize, slots: u64) -> Self {
+        RunOpts { reps, threads: 0, seed: 0x1CDC_5201_0F1D, slots, sim: false }
+    }
+
+    /// Applies command-line arguments (without the program name) on top
+    /// of the defaults.
+    pub fn parse<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--reps" => self.reps = value(&mut it, "--reps")?,
+                "--threads" => self.threads = value(&mut it, "--threads")?,
+                "--seed" => self.seed = value(&mut it, "--seed")?,
+                "--slots" => self.slots = value(&mut it, "--slots")?,
+                "--sim" => self.sim = true,
+                "-h" | "--help" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+            }
+        }
+        if self.reps == 0 {
+            return Err("--reps must be positive".to_string());
+        }
+        if self.slots == 0 {
+            return Err("--slots must be positive".to_string());
+        }
+        Ok(self)
+    }
+
+    /// Parses `std::env::args()` on top of the defaults, exiting with
+    /// usage on error.
+    pub fn from_env(reps: usize, slots: u64) -> Self {
+        match Self::new(reps, slots).parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// A streaming Monte Carlo plan per these options, tracking the
+    /// given thresholds exactly (pass the analytical bounds here so the
+    /// reported violation fractions are exact, not reservoir-estimated).
+    pub fn monte_carlo(&self, thresholds: &[f64]) -> MonteCarlo {
+        MonteCarlo::new(self.reps, self.slots, self.seed)
+            .threads(self.threads)
+            .streaming(thresholds)
+    }
+}
+
+fn value<T: FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<T, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
+    raw.parse().map_err(|_| format!("{flag}: cannot parse `{raw}`\n{USAGE}"))
+}
+
+/// Violation level of the figure binaries' simulation overlay: the
+/// analytical figures use ε = 10⁻⁹, which no direct simulation reaches,
+/// so the overlay reports the simulated `q(1 − 10⁻³)` — a lower
+/// reference point every valid ε = 10⁻⁹ bound must exceed.
+pub const OVERLAY_EPS: f64 = 1e-3;
+
+/// Runs the paper's tandem (FIFO, `C = 100`) through the Monte Carlo
+/// engine and formats the merged simulated `q(1 − OVERLAY_EPS)` plus
+/// its across-replication spread for the figure binaries' `--sim`
+/// overlay column.
+pub fn sim_overlay(opts: &RunOpts, n_through: usize, n_cross: usize, hops: usize) -> String {
+    let cfg = nc_sim::SimConfig {
+        capacity: CAPACITY,
+        hops,
+        n_through,
+        n_cross,
+        source: Mmoo::paper_source(),
+        scheduler: nc_sim::SchedulerKind::Fifo,
+        warmup: 5_000,
+        packet_size: None,
+    };
+    let mut report = opts.monte_carlo(&[]).run(cfg);
+    let q = 1.0 - OVERLAY_EPS;
+    match (report.merged.quantile(q), report.quantile_spread(q)) {
+        (Some(m), Some((lo, hi))) => format!("{m:9.2} [{lo:.2}, {hi:.2}]"),
+        _ => format!("{:>9} -", "-"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +196,46 @@ mod tests {
     fn fmt_handles_missing() {
         assert!(fmt(None).contains('-'));
         assert!(fmt(Some(12.345)).contains("12.3"));
+    }
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn runopts_defaults_and_flags() {
+        let o = RunOpts::new(8, 250_000).parse(args(&[])).unwrap();
+        assert_eq!((o.reps, o.threads, o.slots, o.sim), (8, 0, 250_000, false));
+        let o = RunOpts::new(8, 250_000)
+            .parse(args(&[
+                "--reps",
+                "4",
+                "--threads",
+                "2",
+                "--seed",
+                "7",
+                "--slots",
+                "100",
+                "--sim",
+            ]))
+            .unwrap();
+        assert_eq!(o, RunOpts { reps: 4, threads: 2, seed: 7, slots: 100, sim: true });
+    }
+
+    #[test]
+    fn runopts_rejects_bad_input() {
+        assert!(RunOpts::new(8, 1).parse(args(&["--reps"])).is_err());
+        assert!(RunOpts::new(8, 1).parse(args(&["--reps", "x"])).is_err());
+        assert!(RunOpts::new(8, 1).parse(args(&["--reps", "0"])).is_err());
+        assert!(RunOpts::new(8, 1).parse(args(&["--frobnicate"])).is_err());
+        assert!(RunOpts::new(8, 1).parse(args(&["--help"])).unwrap_err().contains("--reps"));
+    }
+
+    #[test]
+    fn runopts_monte_carlo_plan() {
+        let o = RunOpts::new(3, 1_000).parse(args(&["--threads", "2"])).unwrap();
+        let mc = o.monte_carlo(&[5.0]);
+        assert_eq!((mc.reps, mc.threads, mc.slots), (3, 2, 1_000));
+        assert_eq!(mc.seeds().len(), 3);
     }
 }

@@ -191,12 +191,8 @@ mod tests {
         let eps = 1e-6;
         let t = base(PathScheduler::Fifo);
         let fifo = max_cross_flows(&t, budget, eps, EdfMode::AsConfigured);
-        let edf = max_cross_flows(
-            &t,
-            budget,
-            eps,
-            EdfMode::FixedPoint { cross_over_through: 10.0 },
-        );
+        let edf =
+            max_cross_flows(&t, budget, eps, EdfMode::FixedPoint { cross_over_through: 10.0 });
         assert!(edf.flows >= fifo.flows);
     }
 

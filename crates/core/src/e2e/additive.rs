@@ -152,8 +152,11 @@ mod tests {
                 best = best.min(d);
             }
         }
-        assert!(add.delay / best < 1.5 && add.delay / best > 0.66,
-            "H=1 additive {} vs network {best}", add.delay);
+        assert!(
+            add.delay / best < 1.5 && add.delay / best > 0.66,
+            "H=1 additive {} vs network {best}",
+            add.delay
+        );
     }
 
     #[test]

@@ -42,7 +42,13 @@ mod tests {
     use super::*;
     use crate::e2e::optimizer::{explicit, solve, NodeParams};
 
-    fn homogeneous(capacity: f64, gamma: f64, rho_c: f64, delta: f64, hops: usize) -> Vec<NodeParams> {
+    fn homogeneous(
+        capacity: f64,
+        gamma: f64,
+        rho_c: f64,
+        delta: f64,
+        hops: usize,
+    ) -> Vec<NodeParams> {
         (1..=hops)
             .map(|h| NodeParams {
                 c_eff: capacity - (h as f64 - 1.0) * gamma,

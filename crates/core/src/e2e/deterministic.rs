@@ -33,7 +33,10 @@ impl LeakyBucket {
     /// Panics if either parameter is negative or not finite.
     pub fn new(rate: f64, burst: f64) -> Self {
         assert!(rate >= 0.0 && rate.is_finite(), "LeakyBucket: rate must be finite, non-negative");
-        assert!(burst >= 0.0 && burst.is_finite(), "LeakyBucket: burst must be finite, non-negative");
+        assert!(
+            burst >= 0.0 && burst.is_finite(),
+            "LeakyBucket: burst must be finite, non-negative"
+        );
         LeakyBucket { rate, burst }
     }
 }
@@ -87,8 +90,7 @@ mod tests {
         for hops in [1usize, 2, 5, 10] {
             let opt = deterministic_delay_bound(C, hops, through, cross, PathScheduler::Bmux)
                 .expect("stable");
-            let leftover =
-                Curve::rate_latency(C - cross.rate, cross.burst / (C - cross.rate));
+            let leftover = Curve::rate_latency(C - cross.rate, cross.burst / (C - cross.rate));
             let mut net = Curve::delta(0.0);
             for _ in 0..hops {
                 net = net.convolve(&leftover);
@@ -117,14 +119,9 @@ mod tests {
         let through = LeakyBucket::new(2.0, 4.0);
         let cross = LeakyBucket::new(3.0, 6.0);
         for hops in [1usize, 3, 8] {
-            let sp = deterministic_delay_bound(
-                C,
-                hops,
-                through,
-                cross,
-                PathScheduler::ThroughPriority,
-            )
-            .unwrap();
+            let sp =
+                deterministic_delay_bound(C, hops, through, cross, PathScheduler::ThroughPriority)
+                    .unwrap();
             let fifo =
                 deterministic_delay_bound(C, hops, through, cross, PathScheduler::Fifo).unwrap();
             let bmux =
@@ -161,9 +158,6 @@ mod tests {
     fn overload_returns_none() {
         let through = LeakyBucket::new(6.0, 1.0);
         let cross = LeakyBucket::new(5.0, 1.0);
-        assert_eq!(
-            deterministic_delay_bound(C, 2, through, cross, PathScheduler::Fifo),
-            None
-        );
+        assert_eq!(deterministic_delay_bound(C, 2, through, cross, PathScheduler::Fifo), None);
     }
 }

@@ -169,10 +169,8 @@ mod tests {
         let through = ebb(15.0);
         let cross = ebb(40.0);
         let hops = 4usize;
-        let nodes = vec![
-            HeteroNode { capacity: 100.0, cross, scheduler: PathScheduler::Fifo };
-            hops
-        ];
+        let nodes =
+            vec![HeteroNode { capacity: 100.0, cross, scheduler: PathScheduler::Fifo }; hops];
         let hp = HeteroPath::new(through, nodes);
         let tp = TandemPath::new(100.0, hops, through, cross, PathScheduler::Fifo);
         let eps = 1e-9;
@@ -187,10 +185,8 @@ mod tests {
         let through = ebb(15.0);
         let cross = ebb(40.0);
         let mk = |bottleneck: f64| {
-            let mut nodes = vec![
-                HeteroNode { capacity: 100.0, cross, scheduler: PathScheduler::Fifo };
-                4
-            ];
+            let mut nodes =
+                vec![HeteroNode { capacity: 100.0, cross, scheduler: PathScheduler::Fifo }; 4];
             nodes[2].capacity = bottleneck;
             HeteroPath::new(through, nodes).delay_bound(1e-9).map(|b| b.delay)
         };
@@ -228,7 +224,11 @@ mod tests {
         let mk = |rhos: [f64; 3]| {
             let nodes = rhos
                 .iter()
-                .map(|&r| HeteroNode { capacity: 100.0, cross: ebb(r), scheduler: PathScheduler::Fifo })
+                .map(|&r| HeteroNode {
+                    capacity: 100.0,
+                    cross: ebb(r),
+                    scheduler: PathScheduler::Fifo,
+                })
                 .collect();
             HeteroPath::new(through, nodes).delay_bound(1e-9).unwrap().delay
         };
@@ -240,11 +240,8 @@ mod tests {
     #[test]
     fn unstable_path_returns_none() {
         let through = ebb(50.0);
-        let nodes = vec![HeteroNode {
-            capacity: 60.0,
-            cross: ebb(20.0),
-            scheduler: PathScheduler::Fifo,
-        }];
+        let nodes =
+            vec![HeteroNode { capacity: 60.0, cross: ebb(20.0), scheduler: PathScheduler::Fifo }];
         assert_eq!(HeteroPath::new(through, nodes).delay_bound(1e-9), None);
     }
 }

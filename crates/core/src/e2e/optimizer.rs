@@ -231,11 +231,7 @@ pub fn explicit(
         return None;
     }
     let params: Vec<NodeParams> = (1..=hops)
-        .map(|h| NodeParams {
-            c_eff: capacity - (h as f64 - 1.0) * gamma,
-            r: rho_c + gamma,
-            delta,
-        })
+        .map(|h| NodeParams { c_eff: capacity - (h as f64 - 1.0) * gamma, r: rho_c + gamma, delta })
         .collect();
     if delta == f64::INFINITY {
         // BMUX, Eq. (43): θ ≡ 0, X = σ/(C − ρ_c − Hγ).
@@ -245,7 +241,8 @@ pub fn explicit(
     }
     // Eq. (40): smallest K with Σ_{h>K} (C−ρ_c−hγ)/(C−(h−1)γ) < 1,
     // additionally requiring θ_h(X) > Δ for h > K when Δ ≥ 0.
-    let term = |h: usize| (capacity - rho_c - h as f64 * gamma) / (capacity - (h as f64 - 1.0) * gamma);
+    let term =
+        |h: usize| (capacity - rho_c - h as f64 * gamma) / (capacity - (h as f64 - 1.0) * gamma);
     'k_loop: for k in 0..=hops {
         let tail: f64 = (k + 1..=hops).map(term).sum();
         if tail >= 1.0 {
@@ -286,7 +283,13 @@ pub fn explicit(
 mod tests {
     use super::*;
 
-    fn homogeneous(capacity: f64, gamma: f64, rho_c: f64, delta: f64, hops: usize) -> Vec<NodeParams> {
+    fn homogeneous(
+        capacity: f64,
+        gamma: f64,
+        rho_c: f64,
+        delta: f64,
+        hops: usize,
+    ) -> Vec<NodeParams> {
         (1..=hops)
             .map(|h| NodeParams {
                 c_eff: capacity - (h as f64 - 1.0) * gamma,

@@ -276,11 +276,7 @@ mod tests {
     #[test]
     fn multi_state_source_is_usable_end_to_end() {
         let video = Mmp::new(
-            vec![
-                vec![0.90, 0.10, 0.00],
-                vec![0.05, 0.90, 0.05],
-                vec![0.00, 0.20, 0.80],
-            ],
+            vec![vec![0.90, 0.10, 0.00], vec![0.05, 0.90, 0.05], vec![0.00, 0.20, 0.80]],
             vec![0.0, 0.3, 0.9],
         );
         let st = SourceTandem {

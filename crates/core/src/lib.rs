@@ -57,8 +57,8 @@ pub mod admission;
 mod delta;
 pub mod e2e;
 mod packet;
-mod schedulability;
 pub mod scaling;
+mod schedulability;
 mod service;
 mod single_node;
 

@@ -116,9 +116,7 @@ mod tests {
         let hops: Vec<usize> = vec![2, 4, 6, 8, 12, 16, 20];
         for sched in [PathScheduler::Fifo, PathScheduler::Bmux, PathScheduler::Delta(-5.0)] {
             let fit = growth_of(&hops, |h| {
-                TandemPath::new(100.0, h, through, cross, sched)
-                    .delay_bound(1e-9)
-                    .map(|b| b.delay)
+                TandemPath::new(100.0, h, through, cross, sched).delay_bound(1e-9).map(|b| b.delay)
             })
             .expect("stable range");
             assert!(
@@ -173,10 +171,7 @@ mod tests {
     #[test]
     fn growth_of_skips_infeasible_points() {
         // A bound that is only defined for H ≥ 3.
-        let fit = growth_of(&[1, 2, 3, 4, 5, 6], |h| {
-            (h >= 3).then(|| (h as f64).powi(2))
-        })
-        .unwrap();
+        let fit = growth_of(&[1, 2, 3, 4, 5, 6], |h| (h >= 3).then(|| (h as f64).powi(2))).unwrap();
         assert!((fit.exponent - 2.0).abs() < 1e-9);
         assert_eq!(growth_of(&[1, 2], |h| Some(h as f64)), None);
     }

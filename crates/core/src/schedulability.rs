@@ -180,7 +180,10 @@ pub fn adversarial_scenario(
     d: f64,
 ) -> Option<AdversarialScenario> {
     for e in envelopes {
-        assert!(e.curve().is_concave(), "adversarial_scenario: Theorem 2 requires concave envelopes");
+        assert!(
+            e.curve().is_concave(),
+            "adversarial_scenario: Theorem 2 requires concave envelopes"
+        );
     }
     if delay_feasible(capacity, sched, envelopes, j, d) {
         return None;
@@ -255,8 +258,7 @@ mod tests {
     #[test]
     fn sp_low_priority_bound_exceeds_fifo() {
         let c = 10.0;
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let fifo = min_feasible_delay(c, &DeltaScheduler::fifo(2), &envs, 0).unwrap();
         let bmux = min_feasible_delay(c, &DeltaScheduler::bmux(2, 0), &envs, 0).unwrap();
         assert!(bmux >= fifo - 1e-9, "BMUX {bmux} must dominate FIFO {fifo}");
@@ -270,8 +272,7 @@ mod tests {
     #[test]
     fn sp_high_priority_bound_is_own_burst() {
         let c = 10.0;
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let sched = DeltaScheduler::static_priority(&[0, 1]);
         let d = min_feasible_delay(c, &sched, &envs, 0).unwrap();
         assert!((d - 4.0 / 10.0).abs() < 1e-6, "high-priority bound {d} ≠ B0/C");
@@ -282,9 +283,9 @@ mod tests {
     #[test]
     fn edf_interpolates_with_deadline_gap() {
         let c = 10.0;
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
-        let hi = min_feasible_delay(c, &DeltaScheduler::static_priority(&[0, 1]), &envs, 0).unwrap();
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let hi =
+            min_feasible_delay(c, &DeltaScheduler::static_priority(&[0, 1]), &envs, 0).unwrap();
         let lo = min_feasible_delay(c, &DeltaScheduler::bmux(2, 0), &envs, 0).unwrap();
         let mut prev = hi - 1e-12;
         for gap in [-5.0, -1.0, 0.0, 1.0, 5.0] {
@@ -301,8 +302,7 @@ mod tests {
     fn infeasible_when_overloaded() {
         let c = 4.0;
         let sched = DeltaScheduler::fifo(2);
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         assert_eq!(min_feasible_delay(c, &sched, &envs, 0), None);
     }
 
@@ -310,8 +310,7 @@ mod tests {
     fn adversarial_scenario_exists_iff_infeasible() {
         let c = 10.0;
         let sched = DeltaScheduler::fifo(2);
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let d_tight = min_feasible_delay(c, &sched, &envs, 0).unwrap();
         assert!(adversarial_scenario(c, &sched, &envs, 0, d_tight * 1.01).is_none());
         let sc = adversarial_scenario(c, &sched, &envs, 0, d_tight * 0.9).unwrap();
@@ -324,8 +323,7 @@ mod tests {
     fn slotted_arrivals_sum_to_envelope() {
         let c = 10.0;
         let sched = DeltaScheduler::fifo(2);
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let sc = adversarial_scenario(c, &sched, &envs, 0, 0.5).unwrap();
         let slots = sc.slotted_arrivals(1.0, 10.0);
         let total: f64 = slots[0].iter().sum();

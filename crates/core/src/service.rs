@@ -44,7 +44,10 @@ pub fn statistical_leftover(
     j: usize,
     theta: f64,
 ) -> LeftoverService {
-    assert!(capacity > 0.0 && capacity.is_finite(), "statistical_leftover: capacity must be positive");
+    assert!(
+        capacity > 0.0 && capacity.is_finite(),
+        "statistical_leftover: capacity must be positive"
+    );
     assert!(theta >= 0.0 && !theta.is_nan(), "statistical_leftover: theta must be non-negative");
     assert_eq!(
         envelopes.len(),
@@ -63,7 +66,8 @@ pub fn statistical_leftover(
         cross_sum = cross_sum.add(&envelopes[k].curve().shift_right(shift));
         bounds.push(*envelopes[k].bound());
     }
-    let bound = if bounds.is_empty() { ExpBound::zero() } else { ExpBound::inf_convolution(&bounds) };
+    let bound =
+        if bounds.is_empty() { ExpBound::zero() } else { ExpBound::inf_convolution(&bounds) };
     let full_rate = Curve::rate(capacity).expect("capacity validated above");
     let curve = full_rate.sub_clamped_closure(&cross_sum).gate(theta);
     LeftoverService { curve, bound, theta }
@@ -133,8 +137,7 @@ mod tests {
         // gate at θ applies.
         let c = 10.0;
         let sched = DeltaScheduler::bmux(2, 0);
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let s0 = deterministic_leftover(c, &sched, &envs, 0, 0.0);
         let s1 = deterministic_leftover(c, &sched, &envs, 0, 1.5);
         let t = 4.0;
@@ -146,8 +149,7 @@ mod tests {
     fn through_priority_gets_full_link() {
         // Δ = −∞: no cross flow interferes; S(t) = C·t gated at θ.
         let sched = DeltaScheduler::static_priority(&[0, 1]); // flow 0 high
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let s = deterministic_leftover(10.0, &sched, &envs, 0, 0.0);
         assert!((s.eval(3.0) - 30.0).abs() < 1e-9);
     }
@@ -157,8 +159,7 @@ mod tests {
         // For the tagged flow, a larger Δ (later cross arrivals still have
         // precedence) can only reduce the leftover service.
         let c = 10.0;
-        let envs =
-            vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
+        let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let theta = 2.0;
         let mut prev_at_4 = f64::INFINITY;
         for (d0, dc) in [(1.0, 9.0), (5.0, 5.0), (9.0, 1.0)] {

@@ -65,8 +65,7 @@ pub fn single_node_delay_bound(
         sup_excess(capacity, &terms) + sigma <= capacity * d + 1e-9 * capacity.max(1.0)
     };
 
-    let rate_sum: f64 =
-        sched.interfering(j).into_iter().map(|k| envelopes[k].rate()).sum();
+    let rate_sum: f64 = sched.interfering(j).into_iter().map(|k| envelopes[k].rate()).sum();
     if rate_sum > capacity {
         return None;
     }
@@ -152,10 +151,7 @@ mod tests {
         // the deterministic minimum feasible delay.
         let c = 10.0;
         let sched = DeltaScheduler::fifo(2);
-        let det = vec![
-            DetEnvelope::leaky_bucket(2.0, 4.0),
-            DetEnvelope::leaky_bucket(3.0, 6.0),
-        ];
+        let det = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let stat: Vec<StatEnvelope> = det.iter().cloned().map(DetEnvelope::into_stat).collect();
         let d_det = crate::schedulability::min_feasible_delay(c, &sched, &det, 0).unwrap();
         let b = single_node_delay_bound(c, &sched, &stat, 0, 1e-9).unwrap();
@@ -216,10 +212,7 @@ mod tests {
         // the min-plus computation directly.
         let c = 10.0;
         let sched = DeltaScheduler::fifo(2);
-        let det = vec![
-            DetEnvelope::leaky_bucket(2.0, 4.0),
-            DetEnvelope::leaky_bucket(3.0, 6.0),
-        ];
+        let det = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
         let stat: Vec<StatEnvelope> = det.iter().cloned().map(DetEnvelope::into_stat).collect();
         let b = single_node_backlog_bound(c, &sched, &stat, 0, 1e-9).unwrap();
         assert_eq!(b.sigma, 0.0);

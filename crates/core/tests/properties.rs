@@ -8,15 +8,10 @@ use proptest::prelude::*;
 /// Random homogeneous node parameters with guaranteed feasibility.
 fn feasible_params() -> impl Strategy<Value = (Vec<NodeParams>, f64)> {
     (
-        1usize..=20,            // hops
-        30.0f64..90.0,          // rho_c as fraction of C=100
-        0.001f64..0.5,          // gamma scale (fraction of slack)
-        prop_oneof![
-            Just(f64::NEG_INFINITY),
-            -50.0f64..50.0,
-            Just(0.0),
-            Just(f64::INFINITY)
-        ],
+        1usize..=20,   // hops
+        30.0f64..90.0, // rho_c as fraction of C=100
+        0.001f64..0.5, // gamma scale (fraction of slack)
+        prop_oneof![Just(f64::NEG_INFINITY), -50.0f64..50.0, Just(0.0), Just(f64::INFINITY)],
         1.0f64..5000.0, // sigma
     )
         .prop_map(|(hops, rho_c, gscale, delta, sigma)| {

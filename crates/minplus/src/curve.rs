@@ -71,7 +71,9 @@ impl fmt::Display for CurveError {
                 write!(f, "segment has negative value, or negative/non-finite slope")
             }
             CurveError::NotMonotone => write!(f, "resulting curve would not be non-decreasing"),
-            CurveError::BadParameter(p) => write!(f, "parameter `{p}` must be finite and non-negative"),
+            CurveError::BadParameter(p) => {
+                write!(f, "parameter `{p}` must be finite and non-negative")
+            }
         }
     }
 }
@@ -135,7 +137,8 @@ impl Curve {
     /// Panics if `r` or `b` is negative or not finite. Use
     /// [`Curve::try_token_bucket`] for a fallible version.
     pub fn token_bucket(r: f64, b: f64) -> Self {
-        Self::try_token_bucket(r, b).expect("token_bucket: rate and burst must be finite and non-negative")
+        Self::try_token_bucket(r, b)
+            .expect("token_bucket: rate and burst must be finite and non-negative")
     }
 
     /// Fallible version of [`Curve::token_bucket`].
@@ -173,9 +176,7 @@ impl Curve {
         if t_lat == 0.0 {
             return Curve::rate(big_r);
         }
-        Ok(Curve {
-            segments: vec![Segment::new(0.0, 0.0, 0.0), Segment::new(t_lat, 0.0, big_r)],
-        })
+        Ok(Curve { segments: vec![Segment::new(0.0, 0.0, 0.0), Segment::new(t_lat, 0.0, big_r)] })
     }
 
     /// Burst-delay function `δ_d`: `0` for `t ≤ d`, `+∞` for `t > d`
@@ -456,11 +457,7 @@ impl Curve {
         if c == 0.0 {
             return self.clone();
         }
-        let segments = self
-            .segments
-            .iter()
-            .map(|s| Segment::new(s.x, s.y + c, s.slope))
-            .collect();
+        let segments = self.segments.iter().map(|s| Segment::new(s.x, s.y + c, s.slope)).collect();
         let mut out = Curve { segments };
         out.normalize();
         out
@@ -473,11 +470,8 @@ impl Curve {
     /// Panics if `a` is negative or not finite.
     pub fn scale_y(&self, a: f64) -> Self {
         assert!(a >= 0.0 && a.is_finite(), "scale_y: factor must be finite and non-negative");
-        let segments = self
-            .segments
-            .iter()
-            .map(|s| Segment::new(s.x, s.y * a, s.slope * a))
-            .collect();
+        let segments =
+            self.segments.iter().map(|s| Segment::new(s.x, s.y * a, s.slope * a)).collect();
         let mut out = Curve { segments };
         out.normalize();
         out
@@ -490,11 +484,8 @@ impl Curve {
     /// Panics if `a` is not strictly positive and finite.
     pub fn scale_x(&self, a: f64) -> Self {
         assert!(a > 0.0 && a.is_finite(), "scale_x: factor must be finite and positive");
-        let segments = self
-            .segments
-            .iter()
-            .map(|s| Segment::new(s.x * a, s.y, s.slope / a))
-            .collect();
+        let segments =
+            self.segments.iter().map(|s| Segment::new(s.x * a, s.y, s.slope / a)).collect();
         let mut out = Curve { segments };
         out.normalize();
         out
@@ -561,7 +552,11 @@ impl Curve {
                 s.y = 0.0;
             }
             if s.slope < 0.0 {
-                debug_assert!(s.slope > -1e-6, "normalize: significantly negative slope {}", s.slope);
+                debug_assert!(
+                    s.slope > -1e-6,
+                    "normalize: significantly negative slope {}",
+                    s.slope
+                );
                 s.slope = 0.0;
             }
         }
@@ -690,11 +685,9 @@ mod tests {
     #[test]
     fn eval_left_continuity_at_breakpoint() {
         // Jump of size 5 at t = 2.
-        let c = Curve::from_segments(vec![
-            Segment::new(0.0, 0.0, 1.0),
-            Segment::new(2.0, 7.0, 1.0),
-        ])
-        .unwrap();
+        let c =
+            Curve::from_segments(vec![Segment::new(0.0, 0.0, 1.0), Segment::new(2.0, 7.0, 1.0)])
+                .unwrap();
         assert_eq!(c.eval(2.0), 2.0); // left limit
         assert_eq!(c.eval_right(2.0), 7.0);
         assert_eq!(c.eval(3.0), 8.0);
@@ -702,11 +695,9 @@ mod tests {
 
     #[test]
     fn from_segments_rejects_decreasing() {
-        let err = Curve::from_segments(vec![
-            Segment::new(0.0, 5.0, 0.0),
-            Segment::new(1.0, 3.0, 0.0),
-        ])
-        .unwrap_err();
+        let err =
+            Curve::from_segments(vec![Segment::new(0.0, 5.0, 0.0), Segment::new(1.0, 3.0, 0.0)])
+                .unwrap_err();
         assert_eq!(err, CurveError::NotMonotone);
     }
 

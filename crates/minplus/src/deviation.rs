@@ -17,10 +17,7 @@ impl Curve {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("breakpoints are not NaN"));
         xs.dedup();
         for &x in &xs {
-            for (fv, gv) in [
-                (self.eval(x), g.eval(x)),
-                (self.eval_right(x), g.eval_right(x)),
-            ] {
+            for (fv, gv) in [(self.eval(x), g.eval(x)), (self.eval_right(x), g.eval_right(x))] {
                 if fv.is_infinite() {
                     if gv.is_finite() {
                         return None;
@@ -106,7 +103,10 @@ impl Curve {
     ///
     /// Panics if `sigma` is negative or NaN.
     pub fn delay_bound_with_slack(&self, g: &Curve, sigma: f64) -> Option<f64> {
-        assert!(sigma >= 0.0 && !sigma.is_nan(), "delay_bound_with_slack: sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && !sigma.is_nan(),
+            "delay_bound_with_slack: sigma must be non-negative"
+        );
         if sigma == 0.0 {
             return self.h_deviation(g);
         }

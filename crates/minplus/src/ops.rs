@@ -226,7 +226,8 @@ impl Curve {
         let points: Vec<(f64, f64)> = ts.iter().map(|&t| (t, eval_at(t))).collect();
         let final_slope = self.long_run_rate();
         Ok(Some(
-            Curve::from_points(&points, final_slope).expect("deconvolution of valid curves is a valid curve"),
+            Curve::from_points(&points, final_slope)
+                .expect("deconvolution of valid curves is a valid curve"),
         ))
     }
 
@@ -448,7 +449,7 @@ fn combine(f: &Curve, g: &Curve, op: PointwiseOp) -> Vec<Segment> {
                 // At an inserted crossing the two values agree only up to
                 // floating-point noise; the *slope* choice decides which
                 // branch the curve follows, so ties must compare approximately.
-                let near =nearly_equal(vf, vg);
+                let near = nearly_equal(vf, vg);
                 if (near && sf <= sg) || (!near && vf < vg) {
                     (vf.min(vg), if vf.is_infinite() { 0.0 } else { sf })
                 } else {
@@ -583,27 +584,21 @@ mod tests {
     #[test]
     fn convolve_convex_multi_piece() {
         // f: slope 1 for len 1, then slope 3 (convex). g: δ₂.
-        let f = Curve::from_segments(vec![
-            Segment::new(0.0, 0.0, 1.0),
-            Segment::new(1.0, 1.0, 3.0),
-        ])
-        .unwrap();
+        let f =
+            Curve::from_segments(vec![Segment::new(0.0, 0.0, 1.0), Segment::new(1.0, 1.0, 3.0)])
+                .unwrap();
         let c = f.convolve(&Curve::delta(2.0));
         assert_curve_eq_at(&c, &[(2.0, 0.0), (3.0, 1.0), (4.0, 4.0)]);
     }
 
     #[test]
     fn convolve_convex_pair_slope_sort() {
-        let f = Curve::from_segments(vec![
-            Segment::new(0.0, 0.0, 1.0),
-            Segment::new(2.0, 2.0, 5.0),
-        ])
-        .unwrap();
-        let g = Curve::from_segments(vec![
-            Segment::new(0.0, 0.0, 2.0),
-            Segment::new(1.0, 2.0, 4.0),
-        ])
-        .unwrap();
+        let f =
+            Curve::from_segments(vec![Segment::new(0.0, 0.0, 1.0), Segment::new(2.0, 2.0, 5.0)])
+                .unwrap();
+        let g =
+            Curve::from_segments(vec![Segment::new(0.0, 0.0, 2.0), Segment::new(1.0, 2.0, 4.0)])
+                .unwrap();
         let c = f.convolve(&g);
         // Pieces sorted by slope: (1, len2), (2, len1), (4, ∞-tail of g)… but
         // f's tail slope 5 > 4 means tail slope is 4.

@@ -278,10 +278,7 @@ mod tests {
 
     #[test]
     fn to_curve_with_infinity() {
-        let s = SampledCurve {
-            dt: 1.0,
-            values: vec![0.0, 1.0, f64::INFINITY, f64::INFINITY],
-        };
+        let s = SampledCurve { dt: 1.0, values: vec![0.0, 1.0, f64::INFINITY, f64::INFINITY] };
         let c = s.to_curve(1.0);
         assert_eq!(c.eval(1.0), 1.0);
         assert!(c.eval(1.5).is_infinite());

@@ -21,11 +21,7 @@ fn concave() -> impl Strategy<Value = Curve> {
 
 /// Strategy: a random convex service curve (rate-latency or burst-delay).
 fn convex() -> impl Strategy<Value = Curve> {
-    prop_oneof![
-        rate_latency(),
-        (0.0f64..20.0).prop_map(Curve::delta),
-        Just(Curve::zero()),
-    ]
+    prop_oneof![rate_latency(), (0.0f64..20.0).prop_map(Curve::delta), Just(Curve::zero()),]
 }
 
 /// Strategy: mixed curve shapes.

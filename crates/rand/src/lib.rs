@@ -1,0 +1,242 @@
+//! Vendored offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the (small) slice of the `rand 0.10` API that the
+//! workspace actually uses, under the same crate name and module
+//! paths:
+//!
+//! * [`Rng`] — object-safe core trait (`next_u64`),
+//! * [`RngExt`] — extension methods (`random::<T>()`), blanket-implemented,
+//! * [`SeedableRng`] — `seed_from_u64` / `from_seed`,
+//! * [`rngs::StdRng`] / [`rngs::SmallRng`] — xoshiro256++ generators
+//!   seeded via SplitMix64 (Blackman & Vigna's recommended procedure).
+//!
+//! The streams differ from upstream `rand`'s ChaCha-based `StdRng`, but
+//! every consumer in this workspace treats the generator as an
+//! arbitrary deterministic source of i.i.d. uniforms, so only stream
+//! *quality* and *reproducibility* matter — both of which
+//! xoshiro256++ provides (it passes BigCrush; see
+//! <https://prng.di.unimi.it/>).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// This is the standard seed-expansion generator (Steele, Lea & Flood,
+/// OOPSLA 2014): a Weyl sequence with a 64-bit finalizer. It is also
+/// used by `nc-sim`'s Monte Carlo engine to derive per-replication
+/// seeds from a master seed.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An object-safe random number generator: a source of uniform 64-bit
+/// words.
+pub trait Rng {
+    /// The next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an [`Rng`] — the shim's
+/// equivalent of sampling from the `StandardUniform` distribution.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a value of type `T` uniformly (for `f64`/`f32`: in
+    /// `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn random_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "random_below: empty range");
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= (u64::MAX - n + 1) % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed (expanded via
+    /// SplitMix64, per the xoshiro authors' recommendation).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // An all-zero state would be a fixed point; SplitMix64
+            // cannot produce four zero outputs in a row, but guard
+            // anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, 2019).
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_state(seed)
+        }
+    }
+
+    /// A small fast generator; identical to [`StdRng`] in this shim.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{splitmix64, RngExt, SeedableRng};
+
+    #[test]
+    fn splitmix64_reference_vector() {
+        // First outputs for seed 1234567 (reference implementation by
+        // Sebastiano Vigna, public domain).
+        let mut s = 1234567u64;
+        assert_eq!(splitmix64(&mut s), 6457827717110365317);
+        assert_eq!(splitmix64(&mut s), 3203168211198807973);
+        assert_eq!(splitmix64(&mut s), 9817491932198370423);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_below_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.random_below(7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn dyn_rng_is_usable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynref: &mut dyn super::Rng = &mut rng;
+        let x: f64 = dynref.random();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -43,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod montecarlo;
 mod node;
 mod scheduler;
 mod source;
 mod stats;
 mod tandem;
 
+pub use montecarlo::{MonteCarlo, MonteCarloReport, StatsMode, DEFAULT_RESERVOIR};
 pub use node::{Chunk, Node, NodePolicy, ServiceMode};
 pub use scheduler::SchedulerKind;
 pub use source::{

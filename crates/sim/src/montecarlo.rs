@@ -1,0 +1,353 @@
+//! Parallel Monte Carlo replication engine.
+//!
+//! Validating a probabilistic delay bound at violation level ε needs
+//! on the order of `100/ε` independent delay samples; at the paper's
+//! deeper tails a single sequential [`TandemSim`] run is wall-clock
+//! bound. This module fans independent replications of a simulation
+//! out across OS threads and merges their [`DelayStats`]:
+//!
+//! * per-replication seeds are derived from one **master seed** via
+//!   the SplitMix64 sequence, so replication `i` always sees the same
+//!   RNG stream no matter which thread runs it;
+//! * workers pull replication indices from a shared counter (dynamic
+//!   load balancing), but results are collected **by index** and
+//!   merged in index order — the merged statistics are therefore
+//!   bitwise-identical for any thread count, including 1;
+//! * replications collect into bounded-memory streaming stats by
+//!   default (see [`DelayStats::streaming_with_thresholds`]), so
+//!   multi-million-slot runs do not hold every sample in memory.
+//!
+//! # Example
+//!
+//! ```
+//! use nc_sim::{MonteCarlo, SchedulerKind, SimConfig};
+//!
+//! let cfg = SimConfig {
+//!     capacity: 20.0,
+//!     hops: 2,
+//!     n_through: 10,
+//!     n_cross: 20,
+//!     scheduler: SchedulerKind::Fifo,
+//!     warmup: 500,
+//!     ..SimConfig::default()
+//! };
+//! let mc = MonteCarlo::new(4, 5_000, 42);
+//! let mut report = mc.run(cfg);
+//! assert_eq!(report.per_rep.len(), 4);
+//! assert!(report.merged.len() > 10_000);
+//! let (lo, hi) = report.quantile_spread(0.99).unwrap();
+//! assert!(lo <= hi);
+//! ```
+
+use crate::stats::DelayStats;
+use crate::tandem::{SimConfig, TandemSim};
+use rand::splitmix64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default reservoir capacity per replication for streaming runs:
+/// large enough that the merged reservoir still resolves the 10⁻³
+/// quantile tail with a few percent relative rank error.
+pub const DEFAULT_RESERVOIR: usize = 65_536;
+
+/// How each replication collects its delay samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsMode {
+    /// Retain every sample (exact quantiles, memory grows with slots).
+    Exact,
+    /// Bounded memory: a reservoir of the given capacity per
+    /// replication, plus exact violation counters for the given
+    /// thresholds.
+    Streaming {
+        /// Reservoir capacity per replication.
+        reservoir: usize,
+        /// Thresholds whose violation counts are tracked exactly.
+        thresholds: Vec<f64>,
+    },
+}
+
+/// A parallel replication plan: how many independent simulations to
+/// run, for how long, from which master seed, on how many threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarlo {
+    /// Number of independent replications.
+    pub reps: usize,
+    /// Worker threads; `0` auto-detects from available parallelism.
+    pub threads: usize,
+    /// Master seed; per-replication seeds derive from it via SplitMix64.
+    pub master_seed: u64,
+    /// Simulated slots per replication.
+    pub slots: u64,
+    /// Per-replication collection mode.
+    pub mode: StatsMode,
+}
+
+impl MonteCarlo {
+    /// A plan with auto-detected thread count and exact statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reps` is zero.
+    pub fn new(reps: usize, slots: u64, master_seed: u64) -> Self {
+        assert!(reps > 0, "MonteCarlo: need at least one replication");
+        MonteCarlo { reps, threads: 0, master_seed, slots, mode: StatsMode::Exact }
+    }
+
+    /// Sets the worker thread count (`0` = auto).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Switches to bounded-memory streaming collection with the default
+    /// reservoir and exact tracking of the given thresholds.
+    pub fn streaming(mut self, thresholds: &[f64]) -> Self {
+        self.mode =
+            StatsMode::Streaming { reservoir: DEFAULT_RESERVOIR, thresholds: thresholds.to_vec() };
+        self
+    }
+
+    /// Sets the per-replication reservoir capacity (switching to
+    /// streaming mode if not already).
+    pub fn reservoir(mut self, cap: usize) -> Self {
+        self.mode = match self.mode {
+            StatsMode::Streaming { thresholds, .. } => {
+                StatsMode::Streaming { reservoir: cap, thresholds }
+            }
+            StatsMode::Exact => StatsMode::Streaming { reservoir: cap, thresholds: Vec::new() },
+        };
+        self
+    }
+
+    /// The per-replication seeds: the first `reps` outputs of the
+    /// SplitMix64 sequence started at the master seed.
+    pub fn seeds(&self) -> Vec<u64> {
+        let mut state = self.master_seed;
+        (0..self.reps).map(|_| splitmix64(&mut state)).collect()
+    }
+
+    /// The effective worker count.
+    pub fn effective_threads(&self) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.min(self.reps).max(1)
+    }
+
+    /// An empty collector configured per [`MonteCarlo::mode`].
+    fn collector(&self) -> DelayStats {
+        match &self.mode {
+            StatsMode::Exact => DelayStats::new(),
+            StatsMode::Streaming { reservoir, thresholds } => {
+                DelayStats::streaming_with_thresholds(*reservoir, thresholds)
+            }
+        }
+    }
+
+    /// Runs the tandem simulation [`MonteCarlo::reps`] times and merges
+    /// the per-replication delay statistics.
+    pub fn run(&self, cfg: SimConfig) -> MonteCarloReport {
+        self.run_with(|_, seed| {
+            let mut sim = TandemSim::new(cfg, seed);
+            sim.set_stats_collector(self.collector());
+            sim.run(self.slots)
+        })
+    }
+
+    /// Runs an arbitrary per-replication job `(rep index, seed) →
+    /// DelayStats` across the worker threads and merges the results in
+    /// replication order.
+    ///
+    /// The merged statistics are bitwise-identical for every thread
+    /// count. The per-replication job must itself be deterministic in
+    /// `(index, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics, or (in streaming mode) if the
+    /// job returns collectors with mismatched thresholds.
+    pub fn run_with<F>(&self, job: F) -> MonteCarloReport
+    where
+        F: Fn(usize, u64) -> DelayStats + Sync,
+    {
+        let seeds = self.seeds();
+        let workers = self.effective_threads();
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<DelayStats>>> = Mutex::new(vec![None; self.reps]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= seeds.len() {
+                        break;
+                    }
+                    let stats = job(i, seeds[i]);
+                    results.lock().expect("result mutex poisoned")[i] = Some(stats);
+                });
+            }
+        });
+        let per_rep: Vec<DelayStats> = results
+            .into_inner()
+            .expect("result mutex poisoned")
+            .into_iter()
+            .map(|s| s.expect("worker completed every claimed replication"))
+            .collect();
+        // Merge in replication order: determinism does not depend on
+        // which thread finished first.
+        let mut merged = self.collector();
+        for s in &per_rep {
+            merged.merge(s);
+        }
+        MonteCarloReport { per_rep, merged }
+    }
+}
+
+/// The outcome of a [`MonteCarlo`] run: the order-merged statistics
+/// plus each replication's own, for across-replication dispersion.
+#[derive(Debug, Clone)]
+pub struct MonteCarloReport {
+    /// Per-replication statistics, in replication order.
+    pub per_rep: Vec<DelayStats>,
+    /// All replications merged (in replication order).
+    pub merged: DelayStats,
+}
+
+impl MonteCarloReport {
+    /// The spread `(min, max)` of the per-replication `q`-quantiles —
+    /// an across-replication confidence envelope for the merged
+    /// quantile. `None` if every replication is empty.
+    pub fn quantile_spread(&mut self, q: f64) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for rep in &mut self.per_rep {
+            if let Some(v) = rep.quantile(q) {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+
+    /// The spread `(min, max)` of the per-replication empirical
+    /// violation fractions `P(W > d)`. `None` if every replication is
+    /// empty.
+    pub fn violation_spread(&self, d: f64) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for rep in &self.per_rep {
+            if rep.is_empty() {
+                continue;
+            }
+            let v = rep.violation_fraction(d);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo <= hi).then_some((lo, hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::SchedulerKind;
+
+    fn cfg() -> SimConfig {
+        // ~90% utilized so delays are nonzero within a few thousand slots.
+        SimConfig {
+            capacity: 10.0,
+            hops: 2,
+            n_through: 10,
+            n_cross: 50,
+            scheduler: SchedulerKind::Fifo,
+            warmup: 200,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn seeds_are_splitmix_and_stable() {
+        let mc = MonteCarlo::new(3, 100, 1234567);
+        let s = mc.seeds();
+        assert_eq!(s.len(), 3);
+        // Reference SplitMix64 outputs for seed 1234567.
+        assert_eq!(s[0], 6457827717110365317);
+        assert_eq!(s[1], 3203168211198807973);
+        assert_eq!(s[2], 9817491932198370423);
+        assert_eq!(s, MonteCarlo::new(3, 100, 1234567).seeds());
+    }
+
+    #[test]
+    fn merged_equals_manual_merge_of_reps() {
+        let mc = MonteCarlo::new(3, 2_000, 7).threads(2);
+        let mut report = mc.run(cfg());
+        let mut manual = DelayStats::new();
+        for rep in &report.per_rep {
+            manual.merge(rep);
+        }
+        assert_eq!(report.merged.len(), manual.len());
+        assert_eq!(report.merged.mean(), manual.mean());
+        assert_eq!(report.merged.quantile(0.9), manual.quantile(0.9));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads: usize| {
+            let mc = MonteCarlo::new(6, 2_000, 99).threads(threads).streaming(&[5.0]);
+            let mut r = mc.run(cfg());
+            (
+                r.merged.len(),
+                r.merged.mean().unwrap().to_bits(),
+                r.merged.variance().unwrap().to_bits(),
+                r.merged.max().unwrap().to_bits(),
+                r.merged.quantile(0.999).unwrap().to_bits(),
+                r.merged.violation_fraction(5.0).to_bits(),
+                r.merged.samples().to_vec(),
+            )
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(5));
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let a = MonteCarlo::new(2, 2_000, 1).run(cfg());
+        let b = MonteCarlo::new(2, 2_000, 2).run(cfg());
+        assert_ne!(a.merged.mean(), b.merged.mean());
+    }
+
+    #[test]
+    fn spreads_bracket_merged_point_estimates() {
+        let mc = MonteCarlo::new(5, 4_000, 11);
+        let mut report = mc.run(cfg());
+        let q = 0.99;
+        let (lo, hi) = report.quantile_spread(q).unwrap();
+        let merged_q = report.merged.quantile(q).unwrap();
+        assert!(lo <= merged_q && merged_q <= hi, "{lo} ≤ {merged_q} ≤ {hi}");
+        let d = 3.0;
+        let (vlo, vhi) = report.violation_spread(d).unwrap();
+        let merged_v = report.merged.violation_fraction(d);
+        assert!(vlo <= merged_v && merged_v <= vhi);
+    }
+
+    #[test]
+    fn run_with_custom_job() {
+        let mc = MonteCarlo::new(4, 0, 5).threads(2);
+        let report = mc.run_with(|i, seed| {
+            let mut s = DelayStats::new();
+            s.record(i as f64);
+            s.record((seed % 7) as f64);
+            s
+        });
+        assert_eq!(report.merged.len(), 8);
+        assert_eq!(report.per_rep[3].samples()[0], 3.0);
+    }
+
+    #[test]
+    fn effective_threads_is_clamped() {
+        assert_eq!(MonteCarlo::new(2, 1, 0).threads(16).effective_threads(), 2);
+        assert!(MonteCarlo::new(64, 1, 0).effective_threads() >= 1);
+    }
+}

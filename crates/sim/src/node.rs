@@ -65,9 +65,7 @@ impl NodePolicy {
     fn key(&self, class: usize, node_arrival: u64) -> (f64, u64, usize) {
         match self {
             NodePolicy::Fifo => (node_arrival as f64, node_arrival, class),
-            NodePolicy::StaticPriority(levels) => {
-                (levels[class] as f64, node_arrival, class)
-            }
+            NodePolicy::StaticPriority(levels) => (levels[class] as f64, node_arrival, class),
             NodePolicy::Edf(deadlines) => {
                 (node_arrival as f64 + deadlines[class], node_arrival, class)
             }
@@ -205,10 +203,7 @@ impl Node {
     /// Panics if `class` is out of range.
     pub fn class_backlog(&self, class: usize) -> f64 {
         self.queues[class].iter().map(|c| c.bits).sum::<f64>()
-            + self
-                .in_service
-                .filter(|(c, _)| c.class == class)
-                .map_or(0.0, |(c, _)| c.bits)
+            + self.in_service.filter(|(c, _)| c.class == class).map_or(0.0, |(c, _)| c.bits)
     }
 
     /// Adds a chunk to its class queue. For SCFQ, the virtual finish
@@ -332,8 +327,7 @@ impl Node {
                         let key = self.policy.key(class, head.node_arrival);
                         if best
                             .map(|(_, bk)| {
-                                key.0 < bk.0
-                                    || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2))
+                                key.0 < bk.0 || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2))
                             })
                             .unwrap_or(true)
                         {
@@ -377,8 +371,7 @@ impl Node {
                     let key = self.policy.key(class, head.node_arrival);
                     if best
                         .map(|(_, bk)| {
-                            key.0 < bk.0
-                                || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2))
+                            key.0 < bk.0 || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2))
                         })
                         .unwrap_or(true)
                     {
@@ -684,12 +677,8 @@ mod tests {
 
     #[test]
     fn scfq_nonpreemptive_departs_whole() {
-        let mut n = Node::with_mode(
-            3.0,
-            NodePolicy::Scfq(vec![1.0, 1.0]),
-            2,
-            ServiceMode::NonPreemptive,
-        );
+        let mut n =
+            Node::with_mode(3.0, NodePolicy::Scfq(vec![1.0, 1.0]), 2, ServiceMode::NonPreemptive);
         n.enqueue(chunk(0, 9.0, 0));
         n.enqueue(chunk(1, 3.0, 0));
         let mut sizes = Vec::new();
@@ -712,11 +701,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "packetized WFQ")]
     fn nonpreemptive_gps_is_rejected() {
-        let _ = Node::with_mode(
-            1.0,
-            NodePolicy::Gps(vec![1.0, 1.0]),
-            2,
-            ServiceMode::NonPreemptive,
-        );
+        let _ =
+            Node::with_mode(1.0, NodePolicy::Gps(vec![1.0, 1.0]), 2, ServiceMode::NonPreemptive);
     }
 }

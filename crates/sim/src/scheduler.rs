@@ -78,10 +78,7 @@ mod tests {
         assert_eq!(SchedulerKind::Fifo.delta(), Some(0.0));
         assert_eq!(SchedulerKind::Bmux.delta(), Some(f64::INFINITY));
         assert_eq!(SchedulerKind::ThroughPriority.delta(), Some(f64::NEG_INFINITY));
-        assert_eq!(
-            SchedulerKind::Edf { d_through: 3.0, d_cross: 8.0 }.delta(),
-            Some(-5.0)
-        );
+        assert_eq!(SchedulerKind::Edf { d_through: 3.0, d_cross: 8.0 }.delta(), Some(-5.0));
         assert_eq!(SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 }.delta(), None);
         assert_eq!(SchedulerKind::Scfq { w_through: 1.0, w_cross: 1.0 }.delta(), None);
     }

@@ -71,9 +71,7 @@ pub struct MmooAggregate {
 impl MmooAggregate {
     /// `n` i.i.d. stationary flows of the given model.
     pub fn stationary<R: Rng + ?Sized>(model: Mmoo, n: usize, rng: &mut R) -> Self {
-        MmooAggregate {
-            flows: (0..n).map(|_| MmooState::stationary(model, rng)).collect(),
-        }
+        MmooAggregate { flows: (0..n).map(|_| MmooState::stationary(model, rng)).collect() }
     }
 
     /// Number of flows in the aggregate.
@@ -178,9 +176,7 @@ pub struct MmpAggregate {
 impl MmpAggregate {
     /// `n` i.i.d. stationary flows of the given model.
     pub fn stationary<R: Rng + ?Sized>(model: &Mmp, n: usize, rng: &mut R) -> Self {
-        MmpAggregate {
-            flows: (0..n).map(|_| MmpState::stationary(model.clone(), rng)).collect(),
-        }
+        MmpAggregate { flows: (0..n).map(|_| MmpState::stationary(model.clone(), rng)).collect() }
     }
 
     /// Number of flows in the aggregate.
@@ -342,11 +338,7 @@ mod tests {
     #[test]
     fn mmp_three_state_long_run_rate() {
         let video = Mmp::new(
-            vec![
-                vec![0.90, 0.10, 0.00],
-                vec![0.05, 0.90, 0.05],
-                vec![0.00, 0.20, 0.80],
-            ],
+            vec![vec![0.90, 0.10, 0.00], vec![0.05, 0.90, 0.05], vec![0.00, 0.20, 0.80]],
             vec![0.0, 1.0, 3.0],
         );
         let want = video.mean_rate();
@@ -358,10 +350,7 @@ mod tests {
             total += agg.pull(&mut rng);
         }
         let per_flow = total / (slots as f64 * 20.0);
-        assert!(
-            (per_flow - want).abs() / want < 0.05,
-            "empirical {per_flow} vs analytical {want}"
-        );
+        assert!((per_flow - want).abs() / want < 0.05, "empirical {per_flow} vs analytical {want}");
     }
 
     #[test]

@@ -152,21 +152,28 @@ impl TandemSim {
         }
     }
 
-    /// Runs the same configuration under several seeds on parallel
-    /// threads and merges the delay samples — the cheap way to reach
-    /// deeper empirical quantiles.
+    /// Replaces the delay-statistics collector (e.g. with a streaming
+    /// one from [`DelayStats::streaming_with_thresholds`]); the backlog
+    /// collector switches to the matching mode, without thresholds.
+    /// Call before [`TandemSim::run`] — any already-recorded samples
+    /// are discarded.
+    pub fn set_stats_collector(&mut self, collector: DelayStats) {
+        self.backlog_stats = match collector.reservoir_capacity() {
+            Some(cap) => DelayStats::streaming(cap),
+            None => DelayStats::new(),
+        };
+        self.stats = collector;
+    }
+
+    /// Runs the same configuration under several explicit seeds on
+    /// parallel threads (via [`crate::MonteCarlo`]'s worker pool) and
+    /// merges the delay samples — the cheap way to reach deeper
+    /// empirical quantiles. For seed derivation from a single master
+    /// seed, confidence envelopes, and streaming statistics, use
+    /// [`crate::MonteCarlo`] directly.
     pub fn run_many(cfg: SimConfig, seeds: &[u64], slots: u64) -> DelayStats {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                std::thread::spawn(move || TandemSim::new(cfg, seed).run(slots))
-            })
-            .collect();
-        let mut merged = DelayStats::new();
-        for h in handles {
-            merged.merge(&h.join().expect("simulation thread panicked"));
-        }
-        merged
+        let mc = crate::MonteCarlo::new(seeds.len(), slots, 0);
+        mc.run_with(|i, _| TandemSim::new(cfg, seeds[i]).run(slots)).merged
     }
 
     /// The configuration.
@@ -206,8 +213,7 @@ impl TandemSim {
             if cross_bits > 0.0 {
                 let per = cross_bits / cross_packets as f64;
                 for _ in 0..cross_packets {
-                    self.nodes[h]
-                        .enqueue(Chunk { class: 1, bits: per, entry: t, node_arrival: t });
+                    self.nodes[h].enqueue(Chunk { class: 1, bits: per, entry: t, node_arrival: t });
                 }
             }
             let departures = self.nodes[h].serve_slot(t);
@@ -358,16 +364,10 @@ mod tests {
 
     #[test]
     fn delays_grow_with_load() {
-        let low = TandemSim::new(
-            SimConfig { n_cross: 10, ..light_cfg(SchedulerKind::Fifo) },
-            7,
-        )
-        .run(30_000);
-        let high = TandemSim::new(
-            SimConfig { n_cross: 100, ..light_cfg(SchedulerKind::Fifo) },
-            7,
-        )
-        .run(30_000);
+        let low = TandemSim::new(SimConfig { n_cross: 10, ..light_cfg(SchedulerKind::Fifo) }, 7)
+            .run(30_000);
+        let high = TandemSim::new(SimConfig { n_cross: 100, ..light_cfg(SchedulerKind::Fifo) }, 7)
+            .run(30_000);
         assert!(high.mean().unwrap() > low.mean().unwrap());
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulator: invariants that must hold
 //! for every scheduler, load, and service mode.
 
-use nc_sim::{Chunk, Node, NodePolicy, ServiceMode, SchedulerKind, SimConfig, TandemSim};
+use nc_sim::{Chunk, Node, NodePolicy, SchedulerKind, ServiceMode, SimConfig, TandemSim};
 use proptest::prelude::*;
 
 fn any_policy() -> impl Strategy<Value = NodePolicy> {

@@ -144,10 +144,7 @@ impl ExpBound {
         let w: f64 = active.iter().map(|b| 1.0 / b.decay).sum();
         // ln M' = ln w + Σ ln(M_j α_j) / (α_j w)
         let ln_m: f64 = w.ln()
-            + active
-                .iter()
-                .map(|b| (b.prefactor * b.decay).ln() / (b.decay * w))
-                .sum::<f64>();
+            + active.iter().map(|b| (b.prefactor * b.decay).ln() / (b.decay * w)).sum::<f64>();
         ExpBound { prefactor: ln_m.exp(), decay: 1.0 / w }
     }
 
@@ -164,10 +161,7 @@ impl ExpBound {
         if other.is_zero() {
             return *self;
         }
-        ExpBound {
-            prefactor: self.prefactor + other.prefactor,
-            decay: self.decay.min(other.decay),
-        }
+        ExpBound { prefactor: self.prefactor + other.prefactor, decay: self.decay.min(other.decay) }
     }
 }
 

@@ -54,5 +54,5 @@ pub use ebb::Ebb;
 pub use envelope::{DetEnvelope, StatEnvelope};
 pub use mmoo::Mmoo;
 pub use mmp::Mmp;
-pub use source_trait::TrafficSource;
 pub use models::{leaky_bucket_stat, CbrSource, PoissonBatch};
+pub use source_trait::TrafficSource;

@@ -76,10 +76,7 @@ impl Mmp {
     /// [`crate::Mmoo`].
     pub fn from_mmoo(m: &crate::Mmoo) -> Self {
         Mmp::new(
-            vec![
-                vec![m.p11(), 1.0 - m.p11()],
-                vec![1.0 - m.p22(), m.p22()],
-            ],
+            vec![vec![m.p11(), 1.0 - m.p11()], vec![1.0 - m.p22(), m.p22()]],
             vec![0.0, m.peak()],
         )
     }
@@ -207,11 +204,7 @@ mod tests {
 
     fn video_source() -> Mmp {
         Mmp::new(
-            vec![
-                vec![0.90, 0.10, 0.00],
-                vec![0.05, 0.90, 0.05],
-                vec![0.00, 0.20, 0.80],
-            ],
+            vec![vec![0.90, 0.10, 0.00], vec![0.05, 0.90, 0.05], vec![0.00, 0.20, 0.80]],
             vec![0.0, 1.0, 3.0],
         )
     }

@@ -123,10 +123,7 @@ impl PoissonBatch {
 /// Convenience: a deterministic leaky-bucket envelope as a statistical
 /// envelope with the zero bounding function.
 pub fn leaky_bucket_stat(rate: f64, burst: f64) -> StatEnvelope {
-    StatEnvelope::new(
-        nc_minplus::Curve::token_bucket(rate, burst),
-        ExpBound::zero(),
-    )
+    StatEnvelope::new(nc_minplus::Curve::token_bucket(rate, burst), ExpBound::zero())
 }
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! A common abstraction over traffic sources with effective bandwidths.
 
 use crate::ebb::Ebb;
-use crate::models::{CbrSource, PoissonBatch};
 use crate::mmoo::Mmoo;
 use crate::mmp::Mmp;
+use crate::models::{CbrSource, PoissonBatch};
 
 /// A stationary traffic source whose aggregate admits an
 /// Exponentially-Bounded-Burstiness characterization through its

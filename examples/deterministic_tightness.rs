@@ -31,11 +31,8 @@ fn main() {
     // ties resolve against the tagged flow (the adversary's choice).
     let _policy = NodePolicy::Edf(vec![deadlines[1], deadlines[2], deadlines[0]]);
     let dt = 0.125;
-    let fine_policy = NodePolicy::Edf(vec![
-        deadlines[1] / dt,
-        deadlines[2] / dt,
-        deadlines[0] / dt,
-    ]);
+    let fine_policy =
+        NodePolicy::Edf(vec![deadlines[1] / dt, deadlines[2] / dt, deadlines[0] / dt]);
 
     // (a) Greedy arrivals respect the bound.
     let horizon = 200.0;
@@ -65,7 +62,9 @@ fn main() {
     let traces = vec![traces[1].clone(), traces[2].clone(), traces[0].clone()];
     let stats = &replay_single_node(capacity * dt, fine_policy, &traces)[2];
     let observed = stats.max().expect("samples") * dt;
-    println!("    Replayed through the real EDF scheduler: observed delay {observed:.3} > {d_claim:.3}");
+    println!(
+        "    Replayed through the real EDF scheduler: observed delay {observed:.3} > {d_claim:.3}"
+    );
     assert!(observed > d_claim);
     println!("\nEq. (24) is both sufficient and necessary — the service curve of\nTheorem 1 loses nothing for concave envelopes.");
 }

@@ -28,11 +28,7 @@ fn main() {
         base.utilization() * 100.0
     );
     let eps = 1e-9;
-    for sched in [
-        PathScheduler::Bmux,
-        PathScheduler::Fifo,
-        PathScheduler::ThroughPriority,
-    ] {
+    for sched in [PathScheduler::Bmux, PathScheduler::Fifo, PathScheduler::ThroughPriority] {
         let tandem = MmooTandem { scheduler: sched, ..base };
         match tandem.delay_bound(eps) {
             Some(b) => println!(
@@ -47,8 +43,7 @@ fn main() {
     if let Some((b, d0)) = base.edf_delay_bound_fixed_point(eps, 10.0) {
         println!(
             "{:>18}: P(W > {:6.2} ms) < {eps:.0e}   (per-node deadline d*_0 = {d0:.2} ms)",
-            "EDF(d*0 < d*c)",
-            b.bound.delay
+            "EDF(d*0 < d*c)", b.bound.delay
         );
     }
 }

@@ -42,12 +42,7 @@ fn main() {
                 Some(v) => format!("{:12.3}", v / bmux),
                 None => format!("{:>12}", "-"),
             };
-            println!(
-                "{hops:>4} {bmux:>10.2} {} {} {}",
-                ratio(fifo),
-                ratio(edf),
-                ratio(sp)
-            );
+            println!("{hops:>4} {bmux:>10.2} {} {} {}", ratio(fifo), ratio(edf), ratio(sp));
         }
     }
     println!(

@@ -26,14 +26,8 @@ fn main() {
         ),
     ];
     for (name, analysis_sched, sim_sched) in cases {
-        let analysis = MmooTandem {
-            source,
-            n_through,
-            n_cross,
-            capacity,
-            hops,
-            scheduler: analysis_sched,
-        };
+        let analysis =
+            MmooTandem { source, n_through, n_cross, capacity, hops, scheduler: analysis_sched };
         let cfg = SimConfig {
             capacity,
             hops,

@@ -20,11 +20,7 @@ use std::collections::VecDeque;
 fn video() -> Mmp {
     // Rates in kb per 1 ms slot: idle, base layer (0.4 Mbps), burst (2 Mbps).
     Mmp::new(
-        vec![
-            vec![0.95, 0.05, 0.00],
-            vec![0.02, 0.95, 0.03],
-            vec![0.00, 0.30, 0.70],
-        ],
+        vec![vec![0.95, 0.05, 0.00], vec![0.02, 0.95, 0.03], vec![0.00, 0.30, 0.70]],
         vec![0.0, 0.4, 2.0],
     )
 }

@@ -42,10 +42,7 @@ fn main() {
         "Voice admission control: {N_VOICE} voice flows, H = {HOPS} hops, \
          budget {BUDGET_MS} ms at eps = {EPS:.0e}\n"
     );
-    println!(
-        "{:>22} {:>12} {:>14} {:>12}",
-        "scheduler", "max Nc", "cross load", "link util"
-    );
+    println!("{:>22} {:>12} {:>14} {:>12}", "scheduler", "max Nc", "cross load", "link util");
     let mean = Mmoo::paper_source().mean_rate();
     for (name, sched, ratio) in [
         ("BMUX (worst case)", PathScheduler::Bmux, None),
@@ -56,10 +53,7 @@ fn main() {
         let n = admission_limit(sched, ratio);
         let cross_mbps = n as f64 * mean;
         let util = (N_VOICE + n) as f64 * mean / 100.0;
-        println!(
-            "{name:>22} {n:>12} {cross_mbps:>11.1} Mb {:>11.1}%",
-            util * 100.0
-        );
+        println!("{name:>22} {n:>12} {cross_mbps:>11.1} Mb {:>11.1}%", util * 100.0);
     }
     println!(
         "\nReading: every admission gap between rows is capacity a scheduler-aware\n\

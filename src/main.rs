@@ -99,9 +99,8 @@ impl Options {
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut val = || {
-                it.next().cloned().ok_or_else(|| format!("missing value for `{flag}`"))
-            };
+            let mut val =
+                || it.next().cloned().ok_or_else(|| format!("missing value for `{flag}`"));
             match flag.as_str() {
                 "--hops" => o.hops = parse(&val()?, "hops")?,
                 "--through" => o.through = parse(&val()?, "through")?,
@@ -156,9 +155,8 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 
 fn parse_sched(s: &str) -> Result<(PathScheduler, SchedulerKind), String> {
     if let Some(rest) = s.strip_prefix("edf:") {
-        let (d0, dc) = rest
-            .split_once(',')
-            .ok_or_else(|| format!("edf needs `edf:<d0>,<dc>`, got `{s}`"))?;
+        let (d0, dc) =
+            rest.split_once(',').ok_or_else(|| format!("edf needs `edf:<d0>,<dc>`, got `{s}`"))?;
         let d0: f64 = parse(d0, "edf d0")?;
         let dc: f64 = parse(dc, "edf dc")?;
         return Ok((
@@ -167,9 +165,9 @@ fn parse_sched(s: &str) -> Result<(PathScheduler, SchedulerKind), String> {
         ));
     }
     if let Some(rest) = s.strip_prefix("gps:").or_else(|| s.strip_prefix("scfq:")) {
-        let (w0, wc) = rest
-            .split_once(',')
-            .ok_or_else(|| format!("fair queueing needs `gps:<w0>,<wc>` or `scfq:<w0>,<wc>`, got `{s}`"))?;
+        let (w0, wc) = rest.split_once(',').ok_or_else(|| {
+            format!("fair queueing needs `gps:<w0>,<wc>` or `scfq:<w0>,<wc>`, got `{s}`")
+        })?;
         let w0: f64 = parse(w0, "through weight")?;
         let wc: f64 = parse(wc, "cross weight")?;
         if !(w0 > 0.0 && wc > 0.0) {
@@ -190,10 +188,7 @@ fn parse_sched(s: &str) -> Result<(PathScheduler, SchedulerKind), String> {
         // The simulator needs a concrete mechanism; a Δ offset maps onto
         // EDF deadlines with the same gap.
         let (d0, dc) = if v >= 0.0 { (v, 0.0) } else { (0.0, -v) };
-        return Ok((
-            PathScheduler::Delta(v),
-            SchedulerKind::Edf { d_through: d0, d_cross: dc },
-        ));
+        return Ok((PathScheduler::Delta(v), SchedulerKind::Edf { d_through: d0, d_cross: dc }));
     }
     match s {
         "fifo" => Ok((PathScheduler::Fifo, SchedulerKind::Fifo)),
@@ -239,12 +234,8 @@ fn cmd_bound(o: &Options) -> ExitCode {
                 b.bound.delay, o.eps, b.s, b.bound.gamma, b.bound.sigma
             );
             if let Some(l) = o.packet {
-                let corrected = linksched::core::packetized_delay_bound(
-                    b.bound.delay,
-                    l,
-                    o.capacity,
-                    o.hops,
-                );
+                let corrected =
+                    linksched::core::packetized_delay_bound(b.bound.delay, l, o.capacity, o.hops);
                 println!(
                     "non-preemptive packets of {l} kb: P(W > {corrected:.3} ms) < {:.0e}",
                     o.eps

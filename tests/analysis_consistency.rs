@@ -3,8 +3,7 @@
 
 use linksched::core::e2e::{closed_forms, netbound};
 use linksched::core::{
-    deterministic_delay_bound, DeltaScheduler, LeakyBucket, MmooTandem, PathScheduler,
-    TandemPath,
+    deterministic_delay_bound, DeltaScheduler, LeakyBucket, MmooTandem, PathScheduler, TandemPath,
 };
 use linksched::minplus::Curve;
 use linksched::traffic::{DetEnvelope, Ebb, Mmoo};
@@ -28,26 +27,16 @@ fn single_hop_e2e_matches_single_node_analysis() {
         src.ebb(s, n_through).sample_path_envelope(gamma),
         src.ebb(s, n_cross).sample_path_envelope(gamma),
     ];
-    let node = linksched::core::single_node_delay_bound(
-        c,
-        &DeltaScheduler::fifo(2),
-        &envs,
-        0,
-        eps,
-    )
-    .expect("stable");
+    let node = linksched::core::single_node_delay_bound(c, &DeltaScheduler::fifo(2), &envs, 0, eps)
+        .expect("stable");
 
     // End-to-end machinery at H = 1, same s and γ.
-    let path = TandemPath::new(c, 1, src.ebb(s, n_through), src.ebb(s, n_cross), PathScheduler::Fifo);
+    let path =
+        TandemPath::new(c, 1, src.ebb(s, n_through), src.ebb(s, n_cross), PathScheduler::Fifo);
     let e2e = path.delay_bound_at_gamma(eps, gamma).expect("stable");
 
     let rel = (e2e.delay - node.delay).abs() / node.delay;
-    assert!(
-        rel < 0.05,
-        "H=1 e2e {} vs single-node {} differ by {rel:.3}",
-        e2e.delay,
-        node.delay
-    );
+    assert!(rel < 0.05, "H=1 e2e {} vs single-node {} differ by {rel:.3}", e2e.delay, node.delay);
 }
 
 /// The deterministic γ = 0 module vs the classical min-plus pipeline
@@ -68,10 +57,7 @@ fn deterministic_case_matches_minplus_for_every_hop_count() {
         }
         let env = Curve::token_bucket(through.rate, through.burst);
         let minplus = env.h_deviation(&net).unwrap();
-        assert!(
-            (analytic - minplus).abs() / minplus < 1e-9,
-            "H={hops}: {analytic} vs {minplus}"
-        );
+        assert!((analytic - minplus).abs() / minplus < 1e-9, "H={hops}: {analytic} vs {minplus}");
     }
 }
 
@@ -109,10 +95,7 @@ fn closed_forms_agree_with_pipeline() {
 #[test]
 fn theorem1_curve_reproduces_schedulability_delay() {
     let c = 10.0;
-    let envs = vec![
-        DetEnvelope::leaky_bucket(2.0, 4.0),
-        DetEnvelope::leaky_bucket(3.0, 6.0),
-    ];
+    let envs = vec![DetEnvelope::leaky_bucket(2.0, 4.0), DetEnvelope::leaky_bucket(3.0, 6.0)];
     for sched in [
         DeltaScheduler::fifo(2),
         DeltaScheduler::bmux(2, 0),
@@ -123,10 +106,7 @@ fn theorem1_curve_reproduces_schedulability_delay() {
         // Build the Theorem-1 curve at θ = d and check the deviation.
         let service = linksched::core::deterministic_leftover(c, &sched, &envs, 0, d);
         let dev = envs[0].curve().h_deviation(&service).unwrap();
-        assert!(
-            dev <= d + 1e-6,
-            "{sched:?}: deviation {dev} exceeds minimal feasible delay {d}"
-        );
+        assert!(dev <= d + 1e-6, "{sched:?}: deviation {dev} exceeds minimal feasible delay {d}");
         // And the bound is tight: a 10% smaller θ/d must not suffice.
         let service_small = linksched::core::deterministic_leftover(c, &sched, &envs, 0, 0.9 * d);
         let dev_small = envs[0].curve().h_deviation(&service_small);

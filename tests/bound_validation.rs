@@ -120,16 +120,12 @@ fn scfq_tracks_gps_within_packet_granularity() {
     // a few packet times; the simulated delay quantiles must be close.
     let (_, sim) = setup(2, 40, 60);
     let q = |k: SchedulerKind| {
-        let mut stats =
-            TandemSim::new(SimConfig { scheduler: k, ..sim }, 123).run(300_000);
+        let mut stats = TandemSim::new(SimConfig { scheduler: k, ..sim }, 123).run(300_000);
         stats.quantile(0.999).unwrap()
     };
     let gps = q(SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 });
     let scfq = q(SchedulerKind::Scfq { w_through: 1.0, w_cross: 1.0 });
-    assert!(
-        (scfq - gps).abs() <= 0.25 * gps + 3.0,
-        "SCFQ q999 {scfq} far from GPS q999 {gps}"
-    );
+    assert!((scfq - gps).abs() <= 0.25 * gps + 3.0, "SCFQ q999 {scfq} far from GPS q999 {gps}");
 }
 
 #[test]
@@ -144,8 +140,7 @@ fn backlog_bound_dominates_simulation() {
     let mut best: Option<f64> = None;
     for i in 1..=30 {
         let s = 0.005 * (1.3f64).powi(i);
-        let gamma_max = capacity
-            - (n_through + n_cross) as f64 * source.effective_bandwidth(s);
+        let gamma_max = capacity - (n_through + n_cross) as f64 * source.effective_bandwidth(s);
         if gamma_max <= 0.0 {
             continue;
         }
@@ -191,14 +186,12 @@ fn analytical_ordering_matches_simulated_ordering() {
         .unwrap()
         .bound
         .delay;
-    let a_edf = MmooTandem {
-        scheduler: PathScheduler::Edf { d_through: 5.0, d_cross: 50.0 },
-        ..analysis
-    }
-    .delay_bound(eps)
-    .unwrap()
-    .bound
-    .delay;
+    let a_edf =
+        MmooTandem { scheduler: PathScheduler::Edf { d_through: 5.0, d_cross: 50.0 }, ..analysis }
+            .delay_bound(eps)
+            .unwrap()
+            .bound
+            .delay;
     assert!(a_edf <= a_fifo && a_fifo <= a_bmux);
 
     let q = |k: SchedulerKind, seed: u64| {

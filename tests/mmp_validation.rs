@@ -12,11 +12,7 @@ use std::collections::VecDeque;
 
 fn video() -> Mmp {
     Mmp::new(
-        vec![
-            vec![0.95, 0.05, 0.00],
-            vec![0.02, 0.95, 0.03],
-            vec![0.00, 0.30, 0.70],
-        ],
+        vec![vec![0.95, 0.05, 0.00], vec![0.02, 0.95, 0.03], vec![0.00, 0.30, 0.70]],
         vec![0.0, 0.1, 0.5],
     )
 }
@@ -114,8 +110,5 @@ fn mmp_empirical_mean_matches_model() {
     let total: f64 = (0..slots).map(|_| agg.pull(&mut rng)).sum();
     let per_flow = total / (slots as f64 * 30.0);
     let want = src.mean_rate();
-    assert!(
-        (per_flow - want).abs() / want < 0.05,
-        "empirical {per_flow} vs analytical {want}"
-    );
+    assert!((per_flow - want).abs() / want < 0.05, "empirical {per_flow} vs analytical {want}");
 }

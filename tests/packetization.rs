@@ -78,10 +78,7 @@ fn packet_mode_close_to_fluid_mode_for_small_packets() {
     let qf = fluid.quantile(0.99).unwrap();
     let qp = packet.quantile(0.99).unwrap();
     // Within the 2·L/C non-preemption slack plus a slot of quantization.
-    assert!(
-        (qp - qf).abs() <= 2.0 * PACKET / 20.0 + 2.0,
-        "fluid q99 {qf} vs packet q99 {qp}"
-    );
+    assert!((qp - qf).abs() <= 2.0 * PACKET / 20.0 + 2.0, "fluid q99 {qf} vs packet q99 {qp}");
 }
 
 #[test]

@@ -82,10 +82,7 @@ fn sufficiency_greedy_traffic_respects_feasible_bound() {
         let traces = permute_tagged_last(greedy_traces(&envs, 400));
         let stats = &replay_single_node(C, policy.clone(), &traces)[2];
         let worst = stats.max().unwrap();
-        assert!(
-            worst <= d.ceil() + 1.0,
-            "{kind}: greedy delay {worst} exceeds feasible bound {d}"
-        );
+        assert!(worst <= d.ceil() + 1.0, "{kind}: greedy delay {worst} exceeds feasible bound {d}");
     }
 }
 
