@@ -16,7 +16,7 @@
 //! [--reps N] [--threads N] [--seed N] [--slots N]` (the flags affect
 //! ablation 4 only).
 
-use nc_bench::{flows_for_utilization, tandem, RunOpts, CAPACITY, EPSILON};
+use nc_bench::{flows_for_utilization, tandem, RunArtifacts, RunOpts, CAPACITY, EPSILON};
 use nc_core::e2e::netbound;
 use nc_core::e2e::optimizer::{explicit, solve, NodeParams};
 use nc_core::PathScheduler;
@@ -32,10 +32,12 @@ fn homogeneous(gamma: f64, rho_c: f64, delta: f64, hops: usize) -> Vec<NodeParam
 
 fn main() {
     let opts = RunOpts::from_env(8, 50_000);
+    let artifacts = RunArtifacts::begin("ablation", &opts);
     ablation_optimizer();
     ablation_slack_split();
     ablation_gamma_grid();
     ablation_engine(&opts);
+    artifacts.finish();
 }
 
 /// Explicit (paper) vs numeric (exact) optimizer.
@@ -167,6 +169,8 @@ fn ablation_engine(opts: &RunOpts) {
     let t1 = Instant::now();
     let mut merged_par = par.run(cfg);
     let t_par = t1.elapsed();
+    nc_telemetry::merge_global(&merged_seq.metrics);
+    nc_telemetry::merge_global(&merged_par.metrics);
     let q = 0.999;
     let identical = merged_seq.merged.len() == merged_par.merged.len()
         && merged_seq.merged.mean().map(f64::to_bits) == merged_par.merged.mean().map(f64::to_bits)

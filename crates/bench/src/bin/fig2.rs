@@ -16,11 +16,14 @@
 //! BMUX from `H = 5` on; EDF noticeably lower with the gap growing in
 //! `H`; all bounds exploding as `U → 95%`.
 
-use nc_bench::{flows_for_utilization, sim_overlay, tandem, RunOpts, EPSILON, OVERLAY_EPS};
+use nc_bench::{
+    flows_for_utilization, sim_overlay, tandem, RunArtifacts, RunOpts, EPSILON, OVERLAY_EPS,
+};
 use nc_core::PathScheduler;
 
 fn main() {
     let opts = RunOpts::from_env(4, 20_000);
+    let artifacts = RunArtifacts::begin("fig2", &opts);
     let n_through = flows_for_utilization(0.15); // N0 = 100
     println!("# Fig. 2 — delay bounds [ms] vs total utilization U");
     println!("# N0 = {n_through} (U0 = 15%), eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
@@ -77,4 +80,5 @@ fn main() {
             u += 0.05;
         }
     }
+    artifacts.finish();
 }

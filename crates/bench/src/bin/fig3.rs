@@ -19,11 +19,14 @@
 //! BMUX/FIFO grow steeply with the cross share; as `H` grows all
 //! schedulers drift toward BMUX behaviour.
 
-use nc_bench::{flows_for_utilization, sim_overlay, tandem, RunOpts, EPSILON, OVERLAY_EPS};
+use nc_bench::{
+    flows_for_utilization, sim_overlay, tandem, RunArtifacts, RunOpts, EPSILON, OVERLAY_EPS,
+};
 use nc_core::PathScheduler;
 
 fn main() {
     let opts = RunOpts::from_env(4, 20_000);
+    let artifacts = RunArtifacts::begin("fig3", &opts);
     let u_total = 0.50;
     let n_total = flows_for_utilization(u_total);
     println!("# Fig. 3 — delay bounds [ms] vs traffic mix Uc/U (U = 50%)");
@@ -88,4 +91,5 @@ fn main() {
             );
         }
     }
+    artifacts.finish();
 }

@@ -17,11 +17,14 @@
 //! and BMUX appear identical over the whole range, and EDF stays
 //! noticeably lower at the higher utilizations.
 
-use nc_bench::{flows_for_utilization, sim_overlay, tandem, RunOpts, EPSILON, OVERLAY_EPS};
+use nc_bench::{
+    flows_for_utilization, sim_overlay, tandem, RunArtifacts, RunOpts, EPSILON, OVERLAY_EPS,
+};
 use nc_core::PathScheduler;
 
 fn main() {
     let opts = RunOpts::from_env(4, 20_000);
+    let artifacts = RunArtifacts::begin("fig4", &opts);
     println!("# Fig. 4 — delay bounds [ms] vs path length H (N0 = Nc)");
     println!("# eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
     if opts.sim {
@@ -70,4 +73,5 @@ fn main() {
             );
         }
     }
+    artifacts.finish();
 }

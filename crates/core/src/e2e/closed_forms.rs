@@ -6,6 +6,7 @@
 ///
 /// Returns `None` when `C − ρ_c − Hγ ≤ 0`.
 pub fn bmux_delay(capacity: f64, gamma: f64, rho_c: f64, hops: usize, sigma: f64) -> Option<f64> {
+    nc_telemetry::counter_labeled("core_closed_form_calls_total", &[("form", "bmux")], 1);
     let margin = capacity - rho_c - hops as f64 * gamma;
     if margin <= 0.0 {
         return None;
@@ -20,6 +21,7 @@ pub fn bmux_delay(capacity: f64, gamma: f64, rho_c: f64, hops: usize, sigma: f64
 ///
 /// Returns `None` when infeasible.
 pub fn fifo_delay(capacity: f64, gamma: f64, rho_c: f64, hops: usize, sigma: f64) -> Option<f64> {
+    nc_telemetry::counter_labeled("core_closed_form_calls_total", &[("form", "fifo")], 1);
     if capacity - rho_c - hops as f64 * gamma <= 0.0 {
         return None;
     }

@@ -26,6 +26,7 @@ pub mod optimizer;
 pub mod source_tandem;
 
 use crate::delta::PathScheduler;
+use nc_telemetry as tel;
 use nc_traffic::{Ebb, Mmoo};
 use optimizer::NodeParams;
 pub use source_tandem::{SourceDelayBound, SourceTandem};
@@ -146,6 +147,7 @@ impl TandemPath {
         if gamma <= 0.0 || gamma >= self.gamma_max() {
             return None;
         }
+        tel::counter("core_gamma_evals_total", 1);
         let cross_nodes = vec![self.cross; self.hops];
         let sigma = netbound::sigma_for(&self.through, &cross_nodes, gamma, epsilon);
         let sol = optimizer::solve(&self.node_params(gamma), sigma)?;
@@ -188,6 +190,9 @@ impl TandemPath {
     /// assert!(bound.delay > 0.0);
     /// ```
     pub fn delay_bound(&self, epsilon: f64) -> Option<E2eDelayBound> {
+        let _span = tel::span("core.path.delay_bound");
+        let _timer = tel::timer("core_delay_bound_seconds");
+        tel::counter("core_delay_bound_calls_total", 1);
         let gamma_max = self.gamma_max();
         if gamma_max <= 0.0 {
             return None;
@@ -201,11 +206,15 @@ impl TandemPath {
             }
         };
         let n = 28usize;
-        for i in 1..n {
-            consider(gamma_max * i as f64 / n as f64, &mut best);
+        {
+            let _grid = tel::span("core.path.gamma_grid");
+            for i in 1..n {
+                consider(gamma_max * i as f64 / n as f64, &mut best);
+            }
         }
         let step0 = gamma_max / n as f64;
         if let Some(cur) = best.clone() {
+            let _refine = tel::span("core.path.gamma_refine");
             let mut lo = (cur.gamma - step0).max(gamma_max * 1e-9);
             let mut hi = (cur.gamma + step0).min(gamma_max * (1.0 - 1e-9));
             for _ in 0..3 {
@@ -251,12 +260,14 @@ impl TandemPath {
         if !self.is_stable() {
             return None;
         }
+        let _span = tel::span("core.edf_fixed_point");
         // Δ(d) = d*_0 − d*_c = (1 − ratio)·d/H.
         let h = self.hops as f64;
         let delta_of = |d: f64| (1.0 - cross_over_through) * d / h;
         // Initialize from FIFO (Δ = 0).
         let mut d = self.with_scheduler(PathScheduler::Fifo).delay_bound(epsilon)?.delay;
         for _ in 0..200 {
+            tel::counter("core_edf_fixed_point_iterations_total", 1);
             let sched = PathScheduler::Delta(delta_of(d));
             let b = self.with_scheduler(sched).delay_bound(epsilon)?;
             let next = 0.5 * (d + b.delay);

@@ -47,6 +47,7 @@ pub fn total_bound(through: &Ebb, cross_per_node: &[Ebb], gamma: f64) -> ExpBoun
 /// As for [`total_bound`]; additionally if `epsilon` is not in `(0, 1)`.
 pub fn sigma_for(through: &Ebb, cross_per_node: &[Ebb], gamma: f64, epsilon: f64) -> f64 {
     assert!(epsilon > 0.0 && epsilon < 1.0, "sigma_for: epsilon must be in (0,1)");
+    nc_telemetry::counter("core_netbound_sigma_calls_total", 1);
     total_bound(through, cross_per_node, gamma).sigma_for(epsilon).unwrap_or(0.0)
 }
 

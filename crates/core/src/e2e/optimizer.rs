@@ -19,6 +19,8 @@
 //!   verify both solvers agree to within a fraction of a percent in the
 //!   paper's regimes, with `solve` never worse.
 
+use nc_telemetry as tel;
+
 /// Per-node constraint parameters of the optimization.
 ///
 /// For a homogeneous path, node `h` (1-based) has
@@ -114,6 +116,16 @@ pub fn objective_check(x: f64, params: &[NodeParams], sigma: f64) -> f64 {
 pub fn solve(params: &[NodeParams], sigma: f64) -> Option<Solution> {
     assert!(!params.is_empty(), "solve: need at least one node");
     assert!(sigma >= 0.0, "solve: sigma must be non-negative");
+    tel::counter("core_solver_calls_total", 1);
+    let _timer = tel::timer("core_solver_seconds");
+    let out = solve_inner(params, sigma);
+    if out.is_none() {
+        tel::counter("core_solver_infeasible_total", 1);
+    }
+    out
+}
+
+fn solve_inner(params: &[NodeParams], sigma: f64) -> Option<Solution> {
     // Feasibility: every node must eventually satisfy its constraint.
     let mut min_margin = f64::INFINITY;
     for p in params {
@@ -144,7 +156,9 @@ pub fn solve(params: &[NodeParams], sigma: f64) -> Option<Solution> {
     let coarse = 192usize;
     let mut best_x = 0.0;
     let mut best_d = f64::INFINITY;
+    let evals = std::cell::Cell::new(0u64);
     let eval = |x: f64, best_x: &mut f64, best_d: &mut f64| {
+        evals.set(evals.get() + 1);
         let (d, _) = objective(x, params, sigma);
         if d < *best_d {
             *best_d = d;
@@ -200,6 +214,7 @@ pub fn solve(params: &[NodeParams], sigma: f64) -> Option<Solution> {
         hi = (best_x + step).min(x_max);
     }
     let (delay, thetas) = objective(best_x, params, sigma);
+    tel::counter("core_solver_evals_total", evals.get() + 1);
     Some(Solution { x: best_x, thetas, delay })
 }
 
@@ -226,6 +241,7 @@ pub fn explicit(
 ) -> Option<Solution> {
     assert!(hops > 0, "explicit: need at least one hop");
     assert!(sigma >= 0.0, "explicit: sigma must be non-negative");
+    tel::counter("core_explicit_calls_total", 1);
     let h_f = hops as f64;
     if capacity - rho_c - h_f * gamma <= 0.0 {
         return None;
@@ -276,6 +292,7 @@ pub fn explicit(
         return Some(Solution { x, thetas, delay: d });
     }
     // No admissible K: fall back to the numeric solver's answer.
+    tel::counter("core_explicit_fallback_total", 1);
     solve(&params, sigma)
 }
 

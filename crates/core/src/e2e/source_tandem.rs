@@ -4,6 +4,7 @@
 
 use crate::delta::PathScheduler;
 use crate::e2e::{additive, E2eDelayBound, TandemPath};
+use nc_telemetry as tel;
 use nc_traffic::TrafficSource;
 
 /// A homogeneous tandem whose through and cross aggregates come from
@@ -149,6 +150,7 @@ impl<'a> SourceTandem<'a> {
     {
         let mut best: Option<(E2eDelayBound, f64, f64)> = None;
         let consider = |s: f64, best: &mut Option<(E2eDelayBound, f64, f64)>| {
+            tel::counter("core_s_evals_total", 1);
             if let Some(path) = self.path_at(s) {
                 if let Some((b, aux)) = f(&path) {
                     if best.as_ref().is_none_or(|(cur, _, _)| b.delay < cur.delay) {
@@ -189,6 +191,7 @@ impl<'a> SourceTandem<'a> {
     ///
     /// Panics if `epsilon` is not in `(0, 1)`.
     pub fn delay_bound(&self, epsilon: f64) -> Option<SourceDelayBound> {
+        let _span = tel::span("core.source_tandem.delay_bound");
         self.optimize_over_s(|path| path.delay_bound(epsilon).map(|b| (b, 0.0)))
             .map(|(bound, s, _)| SourceDelayBound { bound, s })
     }
@@ -202,6 +205,7 @@ impl<'a> SourceTandem<'a> {
         epsilon: f64,
         cross_over_through: f64,
     ) -> Option<(SourceDelayBound, f64)> {
+        let _span = tel::span("core.source_tandem.edf_fixed_point");
         self.optimize_over_s(|path| path.edf_delay_bound_fixed_point(epsilon, cross_over_through))
             .map(|(bound, s, d0)| (SourceDelayBound { bound, s }, d0))
     }
@@ -209,6 +213,7 @@ impl<'a> SourceTandem<'a> {
     /// The additive node-by-node BMUX baseline of Example 3, optimized
     /// over `s` (and internally over `γ`).
     pub fn additive_bmux_delay(&self, epsilon: f64) -> Option<f64> {
+        let _span = tel::span("core.source_tandem.additive_bmux");
         let mut best: Option<f64> = None;
         for s in self.s_grid() {
             let through = self.aggregate(self.through_source, s, self.n_through);

@@ -3,6 +3,7 @@
 
 use crate::delta::DeltaScheduler;
 use nc_minplus::Curve;
+use nc_telemetry as tel;
 use nc_traffic::DetEnvelope;
 
 /// `sup_{t>0} [ Σ_k G_k(t + δ_k) − C·t ]` for piecewise-linear
@@ -70,6 +71,7 @@ pub fn delay_feasible(
 ) -> bool {
     assert!(capacity > 0.0 && capacity.is_finite(), "delay_feasible: capacity must be positive");
     assert!(d >= 0.0 && !d.is_nan(), "delay_feasible: delay must be non-negative");
+    tel::counter("core_schedulability_checks_total", 1);
     assert_eq!(envelopes.len(), sched.flows(), "delay_feasible: one envelope per flow required");
     assert!(j < sched.flows(), "delay_feasible: flow index out of range");
     let terms: Vec<(&Curve, f64)> = sched
@@ -97,6 +99,7 @@ pub fn min_feasible_delay(
     envelopes: &[DetEnvelope],
     j: usize,
 ) -> Option<f64> {
+    let _span = tel::span("core.schedulability.min_feasible_delay");
     let rate_sum: f64 =
         sched.interfering(j).into_iter().map(|k| envelopes[k].curve().long_run_rate()).sum();
     if rate_sum > capacity {
@@ -111,6 +114,7 @@ pub fn min_feasible_delay(
     }
     let mut lo = 0.0_f64;
     for _ in 0..200 {
+        tel::counter("core_schedulability_bisections_total", 1);
         let mid = 0.5 * (lo + hi);
         if delay_feasible(capacity, sched, envelopes, j, mid) {
             hi = mid;

@@ -1,6 +1,7 @@
 //! Pointwise and min-plus operations on [`Curve`]s.
 
 use crate::curve::{Curve, CurveError, Segment, EPS};
+use nc_telemetry as tel;
 
 /// Pointwise combination operator used by the segment-merge algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +106,11 @@ impl Curve {
     /// bound on the true convolution that converges as the grid is
     /// refined.
     pub fn convolve(&self, other: &Curve) -> Curve {
+        // Recursive cases (latency peeling) count as separate ops; the
+        // timer histogram then records nested durations, which is fine
+        // for a per-call latency distribution.
+        tel::counter("minplus_convolution_total", 1);
+        let _timer = tel::timer("minplus_convolution_seconds");
         // δ_d is the shift operator; δ_0 is the identity.
         if let Some(d) = self.as_delta() {
             return other.shift_right(d);
@@ -181,6 +187,8 @@ impl Curve {
     /// is not convex; the candidate-point argument below relies on the
     /// concavity of `u ↦ f(t+u) − g(u)`.
     pub fn deconvolve(&self, other: &Curve) -> Result<Option<Curve>, CurveError> {
+        tel::counter("minplus_deconvolution_total", 1);
+        let _timer = tel::timer("minplus_deconvolution_seconds");
         if !self.is_concave() {
             return Err(CurveError::BadParameter("deconvolve: f must be concave"));
         }

@@ -1,6 +1,7 @@
 //! Dense uniform-grid curve representation.
 
 use crate::curve::{Curve, Segment};
+use nc_telemetry as tel;
 
 /// A curve sampled on the uniform grid `0, dt, 2·dt, …, (n−1)·dt`.
 ///
@@ -98,6 +99,8 @@ impl SampledCurve {
             self.dt,
             other.dt
         );
+        tel::counter("minplus_grid_convolution_total", 1);
+        let _timer = tel::timer("minplus_grid_convolution_seconds");
         let n = self.values.len().min(other.values.len());
         let mut out = vec![f64::INFINITY; n];
         for (i, &a) in self.values.iter().enumerate().take(n) {
@@ -127,6 +130,8 @@ impl SampledCurve {
             self.dt,
             other.dt
         );
+        tel::counter("minplus_grid_deconvolution_total", 1);
+        let _timer = tel::timer("minplus_grid_deconvolution_seconds");
         let n = self.values.len();
         let mut out = vec![0.0_f64; n];
         for (k, slot) in out.iter_mut().enumerate() {

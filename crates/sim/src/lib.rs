@@ -51,7 +51,7 @@ mod stats;
 mod tandem;
 
 pub use montecarlo::{MonteCarlo, MonteCarloReport, StatsMode, DEFAULT_RESERVOIR};
-pub use node::{Chunk, Node, NodePolicy, ServiceMode};
+pub use node::{Chunk, Node, NodeCounters, NodePolicy, ServiceMode};
 pub use scheduler::SchedulerKind;
 pub use source::{
     MmooAggregate, MmooState, MmpAggregate, MmpState, PoissonBatchSim, Source, TraceSource,

@@ -41,9 +41,11 @@
 
 use crate::stats::DelayStats;
 use crate::tandem::{SimConfig, TandemSim};
+use nc_telemetry::{Histogram, MetricSet};
 use rand::splitmix64;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Default reservoir capacity per replication for streaming runs:
 /// large enough that the merged reservoir still resolves the 10⁻³
@@ -80,6 +82,14 @@ pub struct MonteCarlo {
     pub slots: u64,
     /// Per-replication collection mode.
     pub mode: StatsMode,
+    /// Live progress reporting on stderr: exact completed/total
+    /// replication counts from the shared work counter, throughput,
+    /// and an ETA (works with or without the `telemetry` feature).
+    pub progress: bool,
+    /// Collect per-replication simulator telemetry into
+    /// [`MonteCarloReport::metrics`] (effective only with the
+    /// `telemetry` feature compiled in).
+    pub collect_metrics: bool,
 }
 
 impl MonteCarlo {
@@ -90,12 +100,32 @@ impl MonteCarlo {
     /// Panics if `reps` is zero.
     pub fn new(reps: usize, slots: u64, master_seed: u64) -> Self {
         assert!(reps > 0, "MonteCarlo: need at least one replication");
-        MonteCarlo { reps, threads: 0, master_seed, slots, mode: StatsMode::Exact }
+        MonteCarlo {
+            reps,
+            threads: 0,
+            master_seed,
+            slots,
+            mode: StatsMode::Exact,
+            progress: false,
+            collect_metrics: false,
+        }
     }
 
     /// Sets the worker thread count (`0` = auto).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables live progress/ETA reporting on stderr.
+    pub fn progress(mut self, on: bool) -> Self {
+        self.progress = on;
+        self
+    }
+
+    /// Enables or disables per-replication telemetry collection.
+    pub fn collect_metrics(mut self, on: bool) -> Self {
+        self.collect_metrics = on;
         self
     }
 
@@ -147,12 +177,20 @@ impl MonteCarlo {
     }
 
     /// Runs the tandem simulation [`MonteCarlo::reps`] times and merges
-    /// the per-replication delay statistics.
+    /// the per-replication delay statistics (and, with
+    /// [`MonteCarlo::collect_metrics`], the per-replication simulator
+    /// telemetry).
     pub fn run(&self, cfg: SimConfig) -> MonteCarloReport {
-        self.run_with(|_, seed| {
+        let collect = self.collect_metrics;
+        self.run_instrumented(|_, seed| {
             let mut sim = TandemSim::new(cfg, seed);
             sim.set_stats_collector(self.collector());
-            sim.run(self.slots)
+            if collect {
+                sim.enable_telemetry();
+            }
+            let stats = sim.run(self.slots);
+            let metrics = if collect { sim.metrics() } else { MetricSet::new() };
+            (stats, metrics)
         })
     }
 
@@ -172,35 +210,122 @@ impl MonteCarlo {
     where
         F: Fn(usize, u64) -> DelayStats + Sync,
     {
+        self.run_instrumented(|i, seed| (job(i, seed), MetricSet::new()))
+    }
+
+    /// [`MonteCarlo::run_with`] for jobs that also return a telemetry
+    /// shard. Shards are merged in replication order — like the delay
+    /// statistics, the merged metrics do not depend on the thread
+    /// count. The engine adds its own `mc_*` series (replication
+    /// timings, throughput, per-worker utilization) on top.
+    pub fn run_instrumented<F>(&self, job: F) -> MonteCarloReport
+    where
+        F: Fn(usize, u64) -> (DelayStats, MetricSet) + Sync,
+    {
+        let t0 = Instant::now();
         let seeds = self.seeds();
         let workers = self.effective_threads();
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<DelayStats>>> = Mutex::new(vec![None; self.reps]);
+        let done = AtomicUsize::new(0);
+        let finished_workers = AtomicUsize::new(0);
+        type RepResult = (DelayStats, MetricSet, f64);
+        let results: Mutex<Vec<Option<RepResult>>> = Mutex::new(vec![None; self.reps]);
+        let busy: Mutex<Vec<f64>> = Mutex::new(vec![0.0; workers]);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= seeds.len() {
-                        break;
+            let (job, seeds) = (&job, &seeds);
+            let (next, done, finished) = (&next, &done, &finished_workers);
+            let (results, busy) = (&results, &busy);
+            for w in 0..workers {
+                scope.spawn(move || {
+                    let mut my_busy = 0.0;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= seeds.len() {
+                            break;
+                        }
+                        let rep_start = Instant::now();
+                        let (stats, metrics) = job(i, seeds[i]);
+                        let secs = rep_start.elapsed().as_secs_f64();
+                        my_busy += secs;
+                        results.lock().expect("result mutex poisoned")[i] =
+                            Some((stats, metrics, secs));
+                        done.fetch_add(1, Ordering::Relaxed);
                     }
-                    let stats = job(i, seeds[i]);
-                    results.lock().expect("result mutex poisoned")[i] = Some(stats);
+                    busy.lock().expect("busy mutex poisoned")[w] = my_busy;
+                    finished.fetch_add(1, Ordering::Release);
                 });
             }
+            if self.progress {
+                scope.spawn(|| self.report_progress(done, finished, workers));
+            }
         });
-        let per_rep: Vec<DelayStats> = results
-            .into_inner()
-            .expect("result mutex poisoned")
-            .into_iter()
-            .map(|s| s.expect("worker completed every claimed replication"))
-            .collect();
+        let wall = t0.elapsed().as_secs_f64();
+        let mut per_rep = Vec::with_capacity(self.reps);
+        let mut metrics = MetricSet::new();
+        let mut rep_seconds = Histogram::new();
+        for slot in results.into_inner().expect("result mutex poisoned") {
+            let (stats, shard, secs) = slot.expect("worker completed every claimed replication");
+            // Replication order: merged metrics are deterministic in
+            // structure regardless of which thread ran which rep.
+            metrics.merge(&shard);
+            rep_seconds.record(secs);
+            per_rep.push(stats);
+        }
         // Merge in replication order: determinism does not depend on
         // which thread finished first.
         let mut merged = self.collector();
         for s in &per_rep {
             merged.merge(s);
         }
-        MonteCarloReport { per_rep, merged }
+        metrics.counter_add("mc_replications_total", &[], self.reps as u64);
+        metrics.gauge_set("mc_workers", &[], workers as f64);
+        metrics.gauge_set("mc_wall_seconds", &[], wall);
+        metrics.histogram_merge("mc_replication_seconds", &[], &rep_seconds);
+        if wall > 0.0 {
+            metrics.gauge_set("mc_throughput_reps_per_second", &[], self.reps as f64 / wall);
+        }
+        for (w, b) in busy.into_inner().expect("busy mutex poisoned").iter().enumerate() {
+            let idx = w.to_string();
+            let labels: [(&str, &str); 1] = [("worker", idx.as_str())];
+            metrics.gauge_set("mc_worker_busy_seconds", &labels, *b);
+            if wall > 0.0 {
+                metrics.gauge_set("mc_worker_utilization_ratio", &labels, *b / wall);
+            }
+        }
+        MonteCarloReport { per_rep, merged, metrics }
+    }
+
+    /// Progress loop (runs on its own thread inside the worker scope):
+    /// prints `completed/total` from the shared counter — exact even
+    /// when `reps` is not a multiple of the worker count — plus
+    /// throughput and ETA, every 200 ms until all replications finish
+    /// (or every worker has exited, should one panic).
+    fn report_progress(&self, done: &AtomicUsize, finished: &AtomicUsize, workers: usize) {
+        use std::io::Write;
+        let t0 = Instant::now();
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            let d = done.load(Ordering::Relaxed);
+            let elapsed = t0.elapsed().as_secs_f64();
+            let mut line = format!("\r[mc] {d}/{} reps", self.reps);
+            if d > 0 && d < self.reps && elapsed > 0.0 {
+                let rate = d as f64 / elapsed;
+                let eta = (self.reps - d) as f64 / rate;
+                line.push_str(&format!("  {rate:.2} reps/s  ETA {eta:.0}s"));
+            }
+            eprint!("{line}        ");
+            let _ = std::io::stderr().flush();
+            if d >= self.reps || finished.load(Ordering::Acquire) >= workers {
+                break;
+            }
+        }
+        let d = done.load(Ordering::Relaxed);
+        let elapsed = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "\r[mc] {d}/{} reps done in {elapsed:.1}s ({:.2} reps/s)        ",
+            self.reps,
+            d as f64 / elapsed.max(1e-9)
+        );
     }
 }
 
@@ -212,6 +337,11 @@ pub struct MonteCarloReport {
     pub per_rep: Vec<DelayStats>,
     /// All replications merged (in replication order).
     pub merged: DelayStats,
+    /// Engine metrics (`mc_*`) plus, with
+    /// [`MonteCarlo::collect_metrics`], the replication-order merge of
+    /// every simulator telemetry shard (`sim_*`). Empty without the
+    /// `telemetry` feature.
+    pub metrics: MetricSet,
 }
 
 impl MonteCarloReport {
@@ -343,6 +473,33 @@ mod tests {
         });
         assert_eq!(report.merged.len(), 8);
         assert_eq!(report.per_rep[3].samples()[0], 3.0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn collect_metrics_merges_sim_shards_deterministically() {
+        let run = |threads| {
+            MonteCarlo::new(5, 2_000, 3).threads(threads).collect_metrics(true).run(cfg())
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.metrics.counter_value("sim_slots_total", &[]), 5 * 2_000);
+        assert_eq!(
+            a.metrics.counter_value("sim_delay_samples_total", &[]),
+            b.metrics.counter_value("sim_delay_samples_total", &[]),
+            "sim metric merge must not depend on thread count"
+        );
+        assert_eq!(a.metrics.counter_value("mc_replications_total", &[]), 5);
+        assert!(a.metrics.get("mc_replication_seconds", &[]).is_some());
+        assert!(a.metrics.get("mc_worker_busy_seconds", &[("worker", "0")]).is_some());
+    }
+
+    #[test]
+    fn progress_reporting_does_not_disturb_results() {
+        let quiet = MonteCarlo::new(3, 1_000, 21).run(cfg());
+        let chatty = MonteCarlo::new(3, 1_000, 21).progress(true).run(cfg());
+        assert_eq!(quiet.merged.len(), chatty.merged.len());
+        assert_eq!(quiet.merged.mean(), chatty.merged.mean());
     }
 
     #[test]

@@ -93,6 +93,27 @@ pub enum ServiceMode {
     NonPreemptive,
 }
 
+/// Per-node scheduler event counters, maintained only when the
+/// `telemetry` feature is compiled in (all-zero otherwise).
+///
+/// The counters are plain integers updated on the serve path — cheap
+/// enough to keep unconditionally in the struct, with the updates
+/// themselves erased from uninstrumented builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCounters {
+    /// Scheduling decisions: head-of-line selections by precedence key
+    /// or SCFQ tag, and GPS water-filling rounds.
+    pub decisions: u64,
+    /// Chunks served to completion (last bit departed).
+    pub completed_chunks: u64,
+    /// Chunk fragmentations at slot-budget or GPS-share boundaries.
+    pub chunk_splits: u64,
+    /// EDF completions after the chunk's absolute deadline
+    /// (`completion slot − node arrival > relative deadline`); always
+    /// zero for non-EDF policies.
+    pub deadline_misses: u64,
+}
+
 /// A work-conserving link of fixed per-slot capacity with per-class
 /// queues and a [`NodePolicy`].
 ///
@@ -127,6 +148,8 @@ pub struct Node {
     /// SCFQ virtual time: the tag of the chunk most recently selected
     /// for service.
     vtime: f64,
+    /// Telemetry event counters (all-zero in uninstrumented builds).
+    counters: NodeCounters,
 }
 
 impl Node {
@@ -176,6 +199,7 @@ impl Node {
             tags: vec![VecDeque::new(); classes],
             last_finish: vec![0.0; classes],
             vtime: 0.0,
+            counters: NodeCounters::default(),
         }
     }
 
@@ -187,6 +211,19 @@ impl Node {
     /// Number of traffic classes.
     pub fn classes(&self) -> usize {
         self.queues.len()
+    }
+
+    /// Telemetry event counters accumulated so far.
+    pub fn counters(&self) -> NodeCounters {
+        self.counters
+    }
+
+    /// Number of queued chunks, including one on the wire in
+    /// non-preemptive mode. `O(classes)`, so cheap enough to sample
+    /// every slot.
+    pub fn queue_len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum::<usize>()
+            + usize::from(self.in_service.is_some())
     }
 
     /// Total backlogged data across classes (including a partially
@@ -227,7 +264,7 @@ impl Node {
 
     /// Serves one slot's worth of capacity and returns the chunks (or
     /// chunk fragments) that depart during this slot, in service order.
-    pub fn serve_slot(&mut self, _slot: u64) -> Vec<Chunk> {
+    pub fn serve_slot(&mut self, slot: u64) -> Vec<Chunk> {
         match (&self.policy, self.mode) {
             (NodePolicy::Gps(weights), _) => {
                 let weights = weights.clone();
@@ -235,8 +272,38 @@ impl Node {
             }
             (NodePolicy::Scfq(_), ServiceMode::Fluid) => self.serve_scfq_fluid(),
             (NodePolicy::Scfq(_), ServiceMode::NonPreemptive) => self.serve_scfq_nonpreemptive(),
-            (_, ServiceMode::Fluid) => self.serve_ordered(),
-            (_, ServiceMode::NonPreemptive) => self.serve_nonpreemptive(),
+            (_, ServiceMode::Fluid) => self.serve_ordered(slot),
+            (_, ServiceMode::NonPreemptive) => self.serve_nonpreemptive(slot),
+        }
+    }
+
+    /// Telemetry bookkeeping for a chunk whose last bit departed at
+    /// `slot`; erased from uninstrumented builds.
+    #[inline]
+    fn note_completion(&mut self, c: &Chunk, slot: u64) {
+        if cfg!(feature = "telemetry") {
+            self.counters.completed_chunks += 1;
+            if let NodePolicy::Edf(deadlines) = &self.policy {
+                if (slot.saturating_sub(c.node_arrival)) as f64 > deadlines[c.class] {
+                    self.counters.deadline_misses += 1;
+                }
+            }
+        }
+    }
+
+    /// Telemetry bookkeeping for one head-of-line scheduling decision.
+    #[inline]
+    fn note_decision(&mut self) {
+        if cfg!(feature = "telemetry") {
+            self.counters.decisions += 1;
+        }
+    }
+
+    /// Telemetry bookkeeping for a chunk split (fragment departure).
+    #[inline]
+    fn note_split(&mut self) {
+        if cfg!(feature = "telemetry") {
+            self.counters.chunk_splits += 1;
         }
     }
 
@@ -260,17 +327,23 @@ impl Node {
         let mut out = Vec::new();
         while budget > 1e-12 {
             let Some(class) = self.scfq_best_class() else { break };
+            self.note_decision();
             self.vtime = *self.tags[class].front().expect("tag for head chunk");
             let head = self.queues[class].front_mut().expect("chunk for tag");
             if head.bits <= budget {
                 budget -= head.bits;
-                out.push(self.queues[class].pop_front().expect("head exists"));
+                let done = self.queues[class].pop_front().expect("head exists");
                 self.tags[class].pop_front();
+                if cfg!(feature = "telemetry") {
+                    self.counters.completed_chunks += 1;
+                }
+                out.push(done);
             } else {
                 let mut served = *head;
                 served.bits = budget;
                 head.bits -= budget;
                 budget = 0.0;
+                self.note_split();
                 out.push(served);
             }
         }
@@ -290,6 +363,7 @@ impl Node {
         while budget > 1e-12 {
             if self.in_service.is_none() {
                 let Some(class) = self.scfq_best_class() else { break };
+                self.note_decision();
                 self.vtime = self.tags[class].pop_front().expect("tag for head chunk");
                 let chunk = self.queues[class].pop_front().expect("chunk for tag");
                 let original = chunk.bits;
@@ -302,6 +376,9 @@ impl Node {
             if cur.bits <= 1e-12 {
                 let (mut done, size) = self.in_service.take().expect("current chunk");
                 done.bits = size;
+                if cfg!(feature = "telemetry") {
+                    self.counters.completed_chunks += 1;
+                }
                 out.push(done);
             }
         }
@@ -315,7 +392,7 @@ impl Node {
     /// Non-preemptive service: finish the chunk on the wire before
     /// consulting the precedence order again; completed chunks depart
     /// whole (no fragments).
-    fn serve_nonpreemptive(&mut self) -> Vec<Chunk> {
+    fn serve_nonpreemptive(&mut self, slot: u64) -> Vec<Chunk> {
         let mut budget = self.capacity;
         let mut out = Vec::new();
         while budget > 1e-12 {
@@ -336,6 +413,7 @@ impl Node {
                     }
                 }
                 let Some((class, _)) = best else { break };
+                self.note_decision();
                 let chunk = self.queues[class].pop_front().expect("head exists");
                 let original = chunk.bits;
                 self.in_service = Some((chunk, original));
@@ -349,6 +427,7 @@ impl Node {
                 // The whole chunk departs at completion time with its
                 // original size (non-preemptive last-bit semantics).
                 done.bits = size;
+                self.note_completion(&done, slot);
                 out.push(done);
             } else {
                 let _ = original; // budget exhausted mid-chunk; stays on the wire
@@ -360,7 +439,7 @@ impl Node {
     /// Serves in global precedence-key order by repeatedly draining the
     /// class whose head chunk has the smallest key (per-class queues are
     /// key-sorted because Δ-schedulers are locally FIFO).
-    fn serve_ordered(&mut self) -> Vec<Chunk> {
+    fn serve_ordered(&mut self, slot: u64) -> Vec<Chunk> {
         let mut budget = self.capacity;
         let mut out = Vec::new();
         while budget > 1e-12 {
@@ -380,15 +459,19 @@ impl Node {
                 }
             }
             let Some((class, _)) = best else { break };
+            self.note_decision();
             let head = self.queues[class].front_mut().expect("class with a head chunk");
             if head.bits <= budget {
                 budget -= head.bits;
-                out.push(self.queues[class].pop_front().expect("head exists"));
+                let done = self.queues[class].pop_front().expect("head exists");
+                self.note_completion(&done, slot);
+                out.push(done);
             } else {
                 let mut served = *head;
                 served.bits = budget;
                 head.bits -= budget;
                 budget = 0.0;
+                self.note_split();
                 out.push(served);
             }
         }
@@ -409,6 +492,7 @@ impl Node {
                 break;
             }
             let wsum: f64 = active.iter().map(|&c| weights[c]).sum();
+            self.note_decision(); // one water-filling round
             let mut consumed_any = false;
             for &c in &active {
                 let share = budget * weights[c] / wsum;
@@ -435,12 +519,17 @@ impl Node {
             let Some(head) = self.queues[c].front_mut() else { break };
             if head.bits <= left {
                 left -= head.bits;
-                out.push(self.queues[c].pop_front().expect("head exists"));
+                let done = self.queues[c].pop_front().expect("head exists");
+                if cfg!(feature = "telemetry") {
+                    self.counters.completed_chunks += 1;
+                }
+                out.push(done);
             } else {
                 let mut served = *head;
                 served.bits = left;
                 head.bits -= left;
                 left = 0.0;
+                self.note_split();
                 out.push(served);
             }
         }
@@ -696,6 +785,53 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn scfq_rejects_zero_weight() {
         let _ = Node::new(1.0, NodePolicy::Scfq(vec![0.0, 1.0]), 2);
+    }
+
+    #[test]
+    fn queue_len_counts_chunks_and_in_service() {
+        let mut n = Node::with_mode(3.0, NodePolicy::Fifo, 2, ServiceMode::NonPreemptive);
+        assert_eq!(n.queue_len(), 0);
+        n.enqueue(chunk(0, 10.0, 0));
+        n.enqueue(chunk(1, 1.0, 0));
+        assert_eq!(n.queue_len(), 2);
+        let _ = n.serve_slot(0); // first chunk moves onto the wire
+        assert_eq!(n.queue_len(), 2, "partially served chunk still counts");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn counters_track_decisions_completions_and_edf_misses() {
+        let mut n = Node::new(2.0, NodePolicy::Edf(vec![1.0, 1.0]), 2);
+        n.enqueue(chunk(0, 6.0, 0)); // needs 3 slots against deadline 1
+        for t in 0..3 {
+            let _ = n.serve_slot(t);
+        }
+        let c = n.counters();
+        assert_eq!(c.completed_chunks, 1);
+        assert_eq!(c.deadline_misses, 1, "completion at slot 2 > deadline 1");
+        assert_eq!(c.chunk_splits, 2);
+        assert_eq!(c.decisions, 3);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn counters_edf_on_time_completion_is_not_a_miss() {
+        let mut n = Node::new(10.0, NodePolicy::Edf(vec![5.0, 5.0]), 2);
+        n.enqueue(chunk(0, 10.0, 0));
+        let _ = n.serve_slot(0);
+        let c = n.counters();
+        assert_eq!((c.completed_chunks, c.deadline_misses), (1, 0));
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn counters_stay_zero_without_the_feature() {
+        let mut n = Node::new(2.0, NodePolicy::Fifo, 1);
+        n.enqueue(chunk(0, 6.0, 0));
+        for t in 0..3 {
+            let _ = n.serve_slot(t);
+        }
+        assert_eq!(n.counters(), NodeCounters::default());
     }
 
     #[test]

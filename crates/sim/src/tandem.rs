@@ -4,10 +4,49 @@ use crate::node::{Chunk, Node, NodePolicy};
 use crate::scheduler::SchedulerKind;
 use crate::source::{MmooAggregate, Source};
 use crate::stats::DelayStats;
+use nc_telemetry::{Histogram, MetricSet};
 use nc_traffic::Mmoo;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+
+/// Per-run simulator telemetry: queue/backlog histograms per node plus
+/// emission and sample counters. Only allocated when
+/// [`TandemSim::enable_telemetry`] was called; recording into it is a
+/// no-op unless the `telemetry` feature (which forwards to
+/// `nc-telemetry/enabled`) is compiled in.
+#[derive(Debug, Clone)]
+struct SimTelemetry {
+    /// Per-node end-of-slot queue length (chunks), sampled every slot.
+    queue_depth: Vec<Histogram>,
+    /// Per-node unfinished-work backlog (kb), tracked incrementally
+    /// (arrivals minus departures at original chunk sizes) so sampling
+    /// is O(1) per node per slot.
+    backlog: Vec<Histogram>,
+    backlog_now: Vec<f64>,
+    /// Per-slot through-aggregate emission sizes (kb, nonzero slots).
+    through_emission_kb: Histogram,
+    /// Per-node per-slot cross-aggregate emission sizes (kb).
+    cross_emission_kb: Vec<Histogram>,
+    slots: u64,
+    samples: u64,
+    warmup_discarded: u64,
+}
+
+impl SimTelemetry {
+    fn new(hops: usize) -> Self {
+        SimTelemetry {
+            queue_depth: vec![Histogram::new(); hops],
+            backlog: vec![Histogram::new(); hops],
+            backlog_now: vec![0.0; hops],
+            through_emission_kb: Histogram::new(),
+            cross_emission_kb: vec![Histogram::new(); hops],
+            slots: 0,
+            samples: 0,
+            warmup_discarded: 0,
+        }
+    }
+}
 
 /// Configuration of a tandem simulation: `n_through` MMOO flows
 /// traverse `hops` identical nodes; `n_cross` fresh MMOO flows enter at
@@ -77,6 +116,8 @@ pub struct TandemSim {
     /// Per-slot through-class backlog samples at node 1 (post-warmup),
     /// for validating single-node backlog bounds.
     backlog_stats: DelayStats,
+    /// Opt-in telemetry; `None` keeps the hot loop untouched.
+    telemetry: Option<SimTelemetry>,
 }
 
 impl TandemSim {
@@ -134,7 +175,25 @@ impl TandemSim {
             slot: 0,
             stats: DelayStats::new(),
             backlog_stats: DelayStats::new(),
+            telemetry: None,
         }
+    }
+
+    /// Turns on per-node telemetry collection (queue-depth and backlog
+    /// histograms, emission and sample counters) for this run. The
+    /// recorded values never feed back into the simulation, so results
+    /// are bitwise-identical with telemetry on or off; without the
+    /// `telemetry` cargo feature the collection itself is erased and
+    /// [`TandemSim::metrics`] stays empty.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(SimTelemetry::new(self.cfg.hops));
+        }
+    }
+
+    /// Whether [`TandemSim::enable_telemetry`] was called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
     }
 
     /// Quantizes an emission into whole packets in packet mode (feed 0
@@ -203,8 +262,15 @@ impl TandemSim {
                 forwarded.push(Chunk { class: 0, bits: per, entry: t, node_arrival: t });
             }
             self.outstanding.push_back((t, thr_bits));
+            if let Some(tel) = &mut self.telemetry {
+                tel.through_emission_kb.record(thr_bits);
+            }
         }
         for h in 0..self.cfg.hops {
+            // Incremental backlog tracking: arrivals at this node this
+            // slot, minus departures below (at original chunk sizes).
+            let arrived_kb: f64 =
+                if self.telemetry.is_some() { forwarded.iter().map(|c| c.bits).sum() } else { 0.0 };
             for c in forwarded.drain(..) {
                 self.nodes[h].enqueue(c);
             }
@@ -220,6 +286,16 @@ impl TandemSim {
             if h == 0 && t >= self.cfg.warmup {
                 self.backlog_stats.record(self.nodes[0].class_backlog(0));
             }
+            if let Some(tel) = &mut self.telemetry {
+                let departed_kb: f64 = departures.iter().map(|c| c.bits).sum();
+                tel.backlog_now[h] =
+                    (tel.backlog_now[h] + arrived_kb + cross_bits - departed_kb).max(0.0);
+                tel.backlog[h].record(tel.backlog_now[h]);
+                tel.queue_depth[h].record(self.nodes[h].queue_len() as f64);
+                if cross_bits > 0.0 {
+                    tel.cross_emission_kb[h].record(cross_bits);
+                }
+            }
             for mut c in departures {
                 if c.class != 0 {
                     continue; // cross traffic leaves after one hop
@@ -231,6 +307,9 @@ impl TandemSim {
                     self.record_exit(c, t);
                 }
             }
+        }
+        if let Some(tel) = &mut self.telemetry {
+            tel.slots += 1;
         }
         self.slot += 1;
     }
@@ -247,6 +326,11 @@ impl TandemSim {
             let (entry, _) = self.outstanding.pop_front().expect("front exists");
             if entry >= self.cfg.warmup {
                 self.stats.record((now - entry) as f64);
+                if let Some(tel) = &mut self.telemetry {
+                    tel.samples += 1;
+                }
+            } else if let Some(tel) = &mut self.telemetry {
+                tel.warmup_discarded += 1;
             }
         }
     }
@@ -270,6 +354,32 @@ impl TandemSim {
     /// the single-node backlog bounds of the analysis.
     pub fn backlog_stats(&self) -> &DelayStats {
         &self.backlog_stats
+    }
+
+    /// Flushes the collected telemetry into a mergeable [`MetricSet`]
+    /// (`sim_*` namespace, per-node series labelled `node="h"`). Empty
+    /// unless [`TandemSim::enable_telemetry`] was called *and* the
+    /// `telemetry` feature is compiled in.
+    pub fn metrics(&self) -> MetricSet {
+        let mut m = MetricSet::new();
+        let Some(tel) = &self.telemetry else { return m };
+        m.counter_add("sim_slots_total", &[], tel.slots);
+        m.counter_add("sim_delay_samples_total", &[], tel.samples);
+        m.counter_add("sim_warmup_discarded_total", &[], tel.warmup_discarded);
+        m.histogram_merge("sim_through_emission_kb", &[], &tel.through_emission_kb);
+        for (h, node) in self.nodes.iter().enumerate() {
+            let idx = h.to_string();
+            let labels: [(&str, &str); 1] = [("node", idx.as_str())];
+            let c = node.counters();
+            m.counter_add("sim_node_scheduler_decisions_total", &labels, c.decisions);
+            m.counter_add("sim_node_chunks_completed_total", &labels, c.completed_chunks);
+            m.counter_add("sim_node_chunk_splits_total", &labels, c.chunk_splits);
+            m.counter_add("sim_node_edf_deadline_misses_total", &labels, c.deadline_misses);
+            m.histogram_merge("sim_node_queue_depth", &labels, &tel.queue_depth[h]);
+            m.histogram_merge("sim_node_backlog_kb", &labels, &tel.backlog[h]);
+            m.histogram_merge("sim_cross_emission_kb", &labels, &tel.cross_emission_kb[h]);
+        }
+        m
     }
 }
 
@@ -448,6 +558,55 @@ mod tests {
         let merged = TandemSim::run_many(cfg, &[1, 2, 3], 5_000);
         let single = TandemSim::new(cfg, 1).run(5_000);
         assert!(merged.len() > 2 * single.len());
+    }
+
+    #[test]
+    fn telemetry_does_not_change_delay_samples() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let plain = TandemSim::new(cfg, 77).run(20_000);
+        let mut sim = TandemSim::new(cfg, 77);
+        sim.enable_telemetry();
+        let instrumented = sim.run(20_000);
+        assert_eq!(plain.len(), instrumented.len());
+        assert_eq!(plain.mean(), instrumented.mean());
+        assert_eq!(plain.samples(), instrumented.samples());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_metrics_cover_nodes_and_samples() {
+        use nc_telemetry::MetricValue;
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let mut sim = TandemSim::new(cfg, 9);
+        sim.enable_telemetry();
+        let stats = sim.run(20_000);
+        let m = sim.metrics();
+        assert_eq!(m.counter_value("sim_slots_total", &[]), 20_000);
+        assert_eq!(m.counter_value("sim_delay_samples_total", &[]), stats.len() as u64);
+        for h in 0..cfg.hops {
+            let idx = h.to_string();
+            let labels: [(&str, &str); 1] = [("node", idx.as_str())];
+            assert!(m.counter_value("sim_node_scheduler_decisions_total", &labels) > 0);
+            match m.get("sim_node_queue_depth", &labels) {
+                Some(MetricValue::Histogram(qd)) => assert_eq!(qd.count(), 20_000),
+                other => panic!("missing queue depth for node {h}: {other:?}"),
+            }
+            match m.get("sim_node_backlog_kb", &labels) {
+                // End-of-slot backlog can legitimately be all-zero at
+                // low utilization; one sample per slot must exist.
+                Some(MetricValue::Histogram(b)) => assert_eq!(b.count(), 20_000),
+                other => panic!("missing backlog for node {h}: {other:?}"),
+            }
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn telemetry_metrics_empty_without_the_feature() {
+        let mut sim = TandemSim::new(light_cfg(SchedulerKind::Fifo), 9);
+        sim.enable_telemetry();
+        let _ = sim.run(1_000);
+        assert!(sim.metrics().is_empty());
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Minimal JSON building blocks and a syntax validator.
+//!
+//! The artifact writers assemble JSON by hand (no serde in an offline
+//! build); these helpers keep the escaping and number formatting in one
+//! audited place, and [`validate`] lets tests and CI assert that an
+//! emitted artifact parses without any external tooling.
+
+/// Escapes and quotes a string as a JSON string literal.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no Infinity/NaN).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` on a finite f64 never produces exponent syntax in Rust,
+        // and always round-trips; integers print without a dot, which
+        // is still a valid JSON number.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Checks that `s` is one complete JSON value (with optional
+/// surrounding whitespace). Returns the byte offset of the first
+/// error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string_lit(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err(format!("unexpected end of input at {pos}", pos = *pos)),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        string_lit(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn string_lit(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for i in 1..=4 {
+                            if !b.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c if c < 0x20 => {
+                return Err(format!("raw control byte in string at {pos}", pos = *pos))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_validation() {
+        let s = string("a\"b\\c\nd\te\u{1}f");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+        validate(&s).unwrap();
+    }
+
+    #[test]
+    fn num_handles_non_finite() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(-0.001), "-0.001");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        validate(&num(1e-30)).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e-3",
+            "\"hi\"",
+            "[]",
+            "[1, [2, {\"a\": null}], \"x\"]",
+            "{\"k\": {\"nested\": [1.0, 2e9]}, \"s\": \"\\u00e9\"}",
+            "  { \"ws\" : [ ] }  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01e",
+            "1 2",
+            "{'single': 1}",
+            "[Infinity]",
+            "{\"bad\\q\": 1}",
+        ] {
+            assert!(validate(doc).is_err(), "accepted malformed {doc:?}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Run manifests: a machine-readable record of what an invocation did.
+
+use crate::json;
+use std::path::Path;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A machine-readable record of one binary invocation: configuration,
+/// seed, repository state, wall time, and the artifacts written
+/// alongside it. Serialized as a small JSON document; works with or
+/// without the `enabled` telemetry feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Binary name (e.g. `validate`).
+    pub binary: String,
+    /// Full argument vector as invoked.
+    pub args: Vec<String>,
+    /// Monte Carlo replications.
+    pub reps: usize,
+    /// Worker threads requested (`0` = auto).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated slots per replication.
+    pub slots: u64,
+    /// `git describe --always --dirty --tags` of the working tree, when
+    /// a `git` binary and repository are available.
+    pub git_describe: Option<String>,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: Option<u128>,
+    /// Total wall time of the run in seconds.
+    pub wall_seconds: f64,
+    /// Whether the binary was compiled with telemetry instrumentation.
+    pub telemetry_enabled: bool,
+    /// `(kind, path)` pairs of sibling artifacts (e.g.
+    /// `("metrics", "m.prom")`).
+    pub artifacts: Vec<(String, String)>,
+    /// Free-form `(key, value)` configuration notes.
+    pub extra: Vec<(String, String)>,
+}
+
+impl RunManifest {
+    /// A manifest for `binary` stamped with the current argv, wall
+    /// clock, and repository description.
+    pub fn new(binary: &str) -> Self {
+        RunManifest {
+            binary: binary.to_string(),
+            args: std::env::args().collect(),
+            reps: 0,
+            threads: 0,
+            seed: 0,
+            slots: 0,
+            git_describe: git_describe(),
+            started_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .ok()
+                .map(|d| d.as_millis()),
+            wall_seconds: 0.0,
+            telemetry_enabled: crate::ENABLED,
+            artifacts: Vec::new(),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Serializes the manifest as an indented JSON document.
+    pub fn to_json(&self) -> String {
+        let args: Vec<String> = self.args.iter().map(|a| json::string(a)).collect();
+        let artifacts: Vec<String> = self
+            .artifacts
+            .iter()
+            .map(|(k, p)| format!("{{\"kind\":{},\"path\":{}}}", json::string(k), json::string(p)))
+            .collect();
+        let extra: Vec<String> = self
+            .extra
+            .iter()
+            .map(|(k, v)| format!("    {}: {}", json::string(k), json::string(v)))
+            .collect();
+        format!(
+            "{{\n  \"binary\": {},\n  \"args\": [{}],\n  \"reps\": {},\n  \"threads\": {},\n  \
+             \"seed\": {},\n  \"slots\": {},\n  \"git_describe\": {},\n  \
+             \"started_unix_ms\": {},\n  \"wall_seconds\": {},\n  \
+             \"telemetry_enabled\": {},\n  \"artifacts\": [{}],\n  \"extra\": {{\n{}\n  }}\n}}\n",
+            json::string(&self.binary),
+            args.join(", "),
+            self.reps,
+            self.threads,
+            self.seed,
+            self.slots,
+            self.git_describe.as_deref().map_or("null".into(), json::string),
+            self.started_unix_ms.map_or("null".to_string(), |m| m.to_string()),
+            json::num(self.wall_seconds),
+            self.telemetry_enabled,
+            artifacts.join(", "),
+            extra.join(",\n"),
+        )
+    }
+
+    /// Writes the manifest JSON to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        crate::export::write_file(path, &self.to_json())
+    }
+}
+
+/// `git describe --always --dirty --tags` of the current directory's
+/// repository; `None` if git is unavailable or this is not a checkout.
+pub fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    (!s.is_empty()).then_some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_serializes_to_valid_json() {
+        let mut m = RunManifest::new("validate");
+        m.reps = 8;
+        m.slots = 1000;
+        m.seed = 42;
+        m.wall_seconds = 1.25;
+        m.artifacts.push(("metrics".into(), "out/m.prom".into()));
+        m.extra.push(("epsilon".into(), "1e-3".into()));
+        let j = m.to_json();
+        crate::json::validate(&j).unwrap_or_else(|e| panic!("{j}: {e}"));
+        assert!(j.contains("\"binary\": \"validate\""));
+        assert!(j.contains("\"reps\": 8"));
+        assert!(j.contains("\"kind\":\"metrics\""));
+    }
+
+    #[test]
+    fn empty_extra_still_valid() {
+        let m = RunManifest::new("fig2");
+        crate::json::validate(&m.to_json()).unwrap();
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the mergeable telemetry containers: the
+//! merge operation must make sharded collection indistinguishable from
+//! single-pass collection, mirroring the `DelayStats` merge contract
+//! that keeps instrumented Monte Carlo runs reproducible.
+//!
+//! Histogram counts, buckets, min, and max merge exactly; the running
+//! sum is floating-point and merges up to accumulation order.
+
+use nc_telemetry::{Histogram, MetricSet, MetricValue};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+fn collect(data: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in data {
+        h.record(v);
+    }
+    h
+}
+
+fn assert_hist_equivalent(a: &Histogram, b: &Histogram) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.count(), b.count());
+    prop_assert_eq!(a.buckets(), b.buckets());
+    prop_assert_eq!(a.min(), b.min());
+    prop_assert_eq!(a.max(), b.max());
+    let (asum, bsum) = (a.sum(), b.sum());
+    prop_assert!((asum - bsum).abs() <= 1e-9 * (1.0 + asum.abs()), "sum {} vs {}", asum, bsum);
+    for q in [0.0, 0.5, 0.9, 1.0] {
+        prop_assert_eq!(a.quantile_upper_bound(q), b.quantile_upper_bound(q));
+    }
+    Ok(())
+}
+
+// Spans the full bucket range: subnormal-adjacent, ~1, and huge values.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    vec(prop_oneof![0.0..1e-9, 0.0..1.0, 0.0..1e12], 0..200)
+}
+
+proptest! {
+    /// (a ∪ b) ∪ c = a ∪ (b ∪ c) on every observable.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in samples(), ys in samples(), zs in samples()
+    ) {
+        let (a, b, c) = (collect(&xs), collect(&ys), collect(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_hist_equivalent(&left, &right)?;
+    }
+
+    /// a ∪ b = b ∪ a on every observable.
+    #[test]
+    fn histogram_merge_is_commutative(xs in samples(), ys in samples()) {
+        let (a, b) = (collect(&xs), collect(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_hist_equivalent(&ab, &ba)?;
+    }
+
+    /// Any shard split of a sample stream, merged in order, equals the
+    /// single-pass histogram.
+    #[test]
+    fn histogram_shard_split_equals_single_pass(
+        data in samples(), cuts in vec(0usize..=200, 0..8)
+    ) {
+        let mut points: Vec<usize> = cuts.iter().map(|&c| c % (data.len() + 1)).collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut merged = Histogram::new();
+        let mut start = 0;
+        for &p in points.iter().chain(std::iter::once(&data.len())) {
+            merged.merge(&collect(&data[start..p.max(start)]));
+            start = p.max(start);
+        }
+        assert_hist_equivalent(&merged, &collect(&data))?;
+    }
+
+    /// MetricSet::merge adds counters and merges histograms per key, so
+    /// sharded registries equal a single registry fed the same stream.
+    #[test]
+    fn metric_set_shard_merge_equals_single_pass(
+        counts in vec(0u64..1000, 1..20),
+        obs in samples(),
+        split in 0usize..20,
+    ) {
+        let mut single = MetricSet::new();
+        for (i, &n) in counts.iter().enumerate() {
+            single.counter_add("evts_total", &[("shard", if i % 2 == 0 { "a" } else { "b" })], n);
+        }
+        for &v in &obs {
+            single.observe("lat_seconds", &[], v);
+        }
+
+        let cut_c = split.min(counts.len());
+        let cut_o = (split * obs.len() / 20).min(obs.len());
+        let mut merged = MetricSet::new();
+        for (range, part_o) in
+            [(0..cut_c, &obs[..cut_o]), (cut_c..counts.len(), &obs[cut_o..])]
+        {
+            let mut shard = MetricSet::new();
+            for i in range {
+                let label = if i % 2 == 0 { "a" } else { "b" };
+                shard.counter_add("evts_total", &[("shard", label)], counts[i]);
+            }
+            for &v in part_o {
+                shard.observe("lat_seconds", &[], v);
+            }
+            merged.merge(&shard);
+        }
+
+        prop_assert_eq!(
+            merged.counter_value("evts_total", &[("shard", "a")]),
+            single.counter_value("evts_total", &[("shard", "a")])
+        );
+        prop_assert_eq!(
+            merged.counter_value("evts_total", &[("shard", "b")]),
+            single.counter_value("evts_total", &[("shard", "b")])
+        );
+        match (merged.get("lat_seconds", &[]), single.get("lat_seconds", &[])) {
+            (Some(MetricValue::Histogram(m)), Some(MetricValue::Histogram(s))) => {
+                assert_hist_equivalent(m, s)?;
+            }
+            // Without the `enabled` feature every recording call is an
+            // erased no-op, so both registries stay empty.
+            (None, None) => prop_assert!(obs.is_empty() || !nc_telemetry::ENABLED),
+            other => prop_assert!(false, "mismatched metric kinds: {:?}", other.0.is_some()),
+        }
+    }
+}
