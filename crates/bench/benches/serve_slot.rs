@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the node serve-slot hot path: the
+//! caller-owned reusable departure buffer (`serve_slot`) against the
+//! allocate-per-call convenience path (`serve_slot_vec`, the
+//! pre-refactor behaviour), per scheduling policy in both service
+//! modes. Numbers are recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nc_sim::{Chunk, Node, NodePolicy, ServiceMode};
+use std::hint::black_box;
+
+const SLOTS: u64 = 10_000;
+
+fn policies(mode: ServiceMode) -> Vec<(&'static str, NodePolicy)> {
+    let mut v = vec![
+        ("fifo", NodePolicy::Fifo),
+        ("sp", NodePolicy::StaticPriority(vec![0, 1])),
+        ("edf", NodePolicy::Edf(vec![10.0, 40.0])),
+        ("scfq", NodePolicy::Scfq(vec![1.0, 1.0])),
+    ];
+    // Non-preemptive GPS (packetized WFQ) is rejected at construction.
+    if mode == ServiceMode::Fluid {
+        v.push(("gps", NodePolicy::Gps(vec![1.0, 1.0])));
+    }
+    v
+}
+
+fn arrivals(node: &mut Node, slot: u64) {
+    node.enqueue(Chunk { class: 0, bits: 3.0, entry: slot, node_arrival: slot });
+    node.enqueue(Chunk { class: 1, bits: 4.0, entry: slot, node_arrival: slot });
+    node.enqueue(Chunk { class: 1, bits: 2.0, entry: slot, node_arrival: slot });
+}
+
+/// The refactored hot path: one buffer reused across every slot.
+fn run_reused(policy: &NodePolicy, mode: ServiceMode) -> usize {
+    let mut node = Node::with_mode(9.0, policy.clone(), 2, mode);
+    let mut out = Vec::new();
+    let mut departures = 0;
+    for slot in 0..SLOTS {
+        arrivals(&mut node, slot);
+        out.clear();
+        node.serve_slot(slot, &mut out);
+        departures += out.len();
+    }
+    departures
+}
+
+/// The pre-refactor shape: a fresh departure vector every slot.
+fn run_alloc_per_slot(policy: &NodePolicy, mode: ServiceMode) -> usize {
+    let mut node = Node::with_mode(9.0, policy.clone(), 2, mode);
+    let mut departures = 0;
+    for slot in 0..SLOTS {
+        arrivals(&mut node, slot);
+        let out = node.serve_slot_vec(slot);
+        departures += out.len();
+    }
+    departures
+}
+
+fn bench_mode(c: &mut Criterion, mode: ServiceMode, mode_name: &str) {
+    let mut g = c.benchmark_group(format!("serve_slot_{mode_name}"));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(SLOTS));
+    for (name, policy) in policies(mode) {
+        g.bench_function(format!("{name}/reused_buffer"), |b| {
+            b.iter(|| black_box(run_reused(&policy, mode)))
+        });
+        g.bench_function(format!("{name}/alloc_per_slot"), |b| {
+            b.iter(|| black_box(run_alloc_per_slot(&policy, mode)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    bench_mode(c, ServiceMode::Fluid, "fluid");
+}
+
+fn bench_nonpreemptive(c: &mut Criterion) {
+    bench_mode(c, ServiceMode::NonPreemptive, "nonpreemptive");
+}
+
+criterion_group!(benches, bench_fluid, bench_nonpreemptive);
+criterion_main!(benches);

@@ -12,188 +12,14 @@
 //!    baseline (with a bitwise-equality check on the merged statistics)
 //!    and streaming-reservoir fidelity against exact collection.
 //!
+//! Thin wrapper over the shipped scenario
+//! `examples/scenarios/ablation.json` run through
+//! [`nc_scenario::Engine`].
+//!
 //! Run with `cargo run --release -p nc-bench --bin ablation --
 //! [--reps N] [--threads N] [--seed N] [--slots N]` (the flags affect
 //! ablation 4 only).
 
-use nc_bench::{flows_for_utilization, tandem, RunArtifacts, RunOpts, CAPACITY, EPSILON};
-use nc_core::e2e::netbound;
-use nc_core::e2e::optimizer::{explicit, solve, NodeParams};
-use nc_core::PathScheduler;
-use nc_sim::{MonteCarlo, SchedulerKind, SimConfig};
-use nc_traffic::{Ebb, ExpBound, Mmoo};
-use std::time::Instant;
-
-fn homogeneous(gamma: f64, rho_c: f64, delta: f64, hops: usize) -> Vec<NodeParams> {
-    (1..=hops)
-        .map(|h| NodeParams { c_eff: CAPACITY - (h as f64 - 1.0) * gamma, r: rho_c + gamma, delta })
-        .collect()
-}
-
 fn main() {
-    let opts = RunOpts::from_env(8, 50_000);
-    let artifacts = RunArtifacts::begin("ablation", &opts);
-    ablation_optimizer();
-    ablation_slack_split();
-    ablation_gamma_grid();
-    ablation_engine(&opts);
-    artifacts.finish();
-}
-
-/// Explicit (paper) vs numeric (exact) optimizer.
-fn ablation_optimizer() {
-    println!("# Ablation 1 — explicit (Eqs. 40–42) vs numeric optimizer for Eq. (38)");
-    println!(
-        "{:>4} {:>8} {:>12} {:>12} {:>9} {:>12} {:>12}",
-        "H", "Δ", "d(explicit)", "d(numeric)", "gap[%]", "t(expl)[µs]", "t(num)[µs]"
-    );
-    let (gamma, rho_c, sigma) = (0.05, 40.0, 400.0);
-    for hops in [1usize, 2, 5, 10, 20] {
-        // Large negative Δ exposes the explicit procedure's K = 0 choice
-        // (X = −Δ), which the paper itself flags as possibly suboptimal.
-        for delta in [f64::NEG_INFINITY, -20.0, -10.0, -2.0, 0.0, 10.0, f64::INFINITY] {
-            let params = homogeneous(gamma, rho_c, delta, hops);
-            let t0 = Instant::now();
-            let e = explicit(CAPACITY, gamma, rho_c, delta, hops, sigma).expect("feasible");
-            let t_e = t0.elapsed();
-            let t1 = Instant::now();
-            let n = solve(&params, sigma).expect("feasible");
-            let t_n = t1.elapsed();
-            println!(
-                "{:>4} {:>8} {:>12.4} {:>12.4} {:>9.3} {:>12.1} {:>12.1}",
-                hops,
-                format_delta(delta),
-                e.delay,
-                n.delay,
-                100.0 * (e.delay - n.delay) / n.delay,
-                t_e.as_nanos() as f64 / 1e3,
-                t_n.as_nanos() as f64 / 1e3,
-            );
-        }
-    }
-}
-
-fn format_delta(d: f64) -> String {
-    if d == f64::INFINITY {
-        "+inf".into()
-    } else if d == f64::NEG_INFINITY {
-        "-inf".into()
-    } else {
-        format!("{d}")
-    }
-}
-
-/// Exact Eq. (33) slack splitting vs equal split σ_k = σ/N.
-fn ablation_slack_split() {
-    println!("\n# Ablation 2 — Eq. (33) exact slack split vs equal split (σ at eps = 1e-9)");
-    println!("{:>4} {:>14} {:>14} {:>9}", "H", "σ(exact)", "σ(equal)", "gain[%]");
-    // Heterogeneous decays: with identical α the optimal and equal
-    // splits coincide by symmetry; mixed moment parameters are where
-    // Eq. (33) pays.
-    let gamma = 0.05;
-    let through = Ebb::new(1.0, 15.0, 0.5);
-    for hops in [1usize, 2, 5, 10, 20] {
-        let cross: Vec<Ebb> =
-            (0..hops).map(|h| Ebb::new(1.0, 40.0, if h % 2 == 0 { 0.08 } else { 0.25 })).collect();
-        let exact = netbound::sigma_for(&through, &cross, gamma, EPSILON);
-        // Equal split: each of the H+1 terms gets σ/(H+1) and must reach
-        // eps/(H+1): σ_equal = (H+1)·max_k σ_k(eps/(H+1)).
-        let mut terms: Vec<ExpBound> = Vec::new();
-        for (h, c) in cross.iter().enumerate() {
-            let b = c.interval_bound().geometric_sum(gamma);
-            terms.push(if h + 1 < hops { b.geometric_sum(gamma) } else { b });
-        }
-        terms.push(through.interval_bound().geometric_sum(gamma));
-        let n = terms.len() as f64;
-        let equal = terms.iter().map(|t| t.sigma_for(EPSILON / n).unwrap_or(0.0)).sum::<f64>();
-        println!(
-            "{:>4} {:>14.2} {:>14.2} {:>9.2}",
-            hops,
-            exact,
-            equal,
-            100.0 * (equal - exact) / equal
-        );
-    }
-}
-
-/// Bound quality vs γ-grid density (re-implementing the outer search at
-/// several resolutions, no refinement).
-fn ablation_gamma_grid() {
-    println!("\n# Ablation 3 — γ-grid density vs bound quality (FIFO, H = 10, U = 50%)");
-    println!("{:>8} {:>12} {:>10}", "points", "d [ms]", "loss[%]");
-    let n_half = flows_for_utilization(0.50) / 2;
-    let t = tandem(n_half, n_half, 10, PathScheduler::Fifo);
-    // Reference: the production search (s and γ grids + refinement).
-    let reference = t.delay_bound(EPSILON).expect("feasible");
-    let s_star = reference.s;
-    let ref_delay = reference.bound.delay;
-    // Hold s at the production optimum and vary only the γ grid (no
-    // refinement), isolating the γ-resolution sensitivity.
-    let path = t.path_at(s_star).expect("reference s is feasible");
-    let gmax = path.gamma_max();
-    for points in [4usize, 8, 16, 32, 64, 128] {
-        let mut best = f64::INFINITY;
-        for i in 1..points {
-            let g = gmax * i as f64 / points as f64;
-            if let Some(b) = path.delay_bound_at_gamma(EPSILON, g) {
-                best = best.min(b.delay);
-            }
-        }
-        println!("{:>8} {:>12.3} {:>10.3}", points, best, 100.0 * (best - ref_delay) / ref_delay);
-    }
-    println!("reference (s and γ optimized with refinement): {ref_delay:.3} ms at s = {s_star:.4}");
-}
-
-/// Parallel engine speedup + determinism, and streaming-vs-exact
-/// fidelity, on a validation-sized cell.
-fn ablation_engine(opts: &RunOpts) {
-    println!("\n# Ablation 4 — Monte Carlo engine ({} reps x {} slots)", opts.reps, opts.slots);
-    let cfg = SimConfig {
-        capacity: 20.0,
-        hops: 2,
-        n_through: 40,
-        n_cross: 60,
-        source: Mmoo::paper_source(),
-        scheduler: SchedulerKind::Fifo,
-        warmup: 5_000,
-        packet_size: None,
-    };
-    // (a) Wall-clock vs thread count; merged statistics must be
-    // bitwise-identical across runs.
-    let seq = opts.monte_carlo(&[]).threads(1);
-    let t0 = Instant::now();
-    let mut merged_seq = seq.run(cfg);
-    let t_seq = t0.elapsed();
-    let par = opts.monte_carlo(&[]);
-    let workers = par.effective_threads();
-    let t1 = Instant::now();
-    let mut merged_par = par.run(cfg);
-    let t_par = t1.elapsed();
-    nc_telemetry::merge_global(&merged_seq.metrics);
-    nc_telemetry::merge_global(&merged_par.metrics);
-    let q = 0.999;
-    let identical = merged_seq.merged.len() == merged_par.merged.len()
-        && merged_seq.merged.mean().map(f64::to_bits) == merged_par.merged.mean().map(f64::to_bits)
-        && merged_seq.merged.quantile(q).map(f64::to_bits)
-            == merged_par.merged.quantile(q).map(f64::to_bits)
-        && merged_seq.merged.samples() == merged_par.merged.samples();
-    println!(
-        "threads=1: {:.2}s   threads={workers}: {:.2}s   speedup: {:.2}x   bitwise identical: {}",
-        t_seq.as_secs_f64(),
-        t_par.as_secs_f64(),
-        t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-9),
-        if identical { "yes" } else { "NO" }
-    );
-    // (b) Streaming reservoir vs exact collection: moments must agree
-    // exactly, quantiles up to reservoir resolution.
-    let mut exact =
-        MonteCarlo::new(opts.reps, opts.slots, opts.seed).threads(opts.threads).run(cfg);
-    let mean_gap =
-        (merged_par.merged.mean().unwrap_or(0.0) - exact.merged.mean().unwrap_or(0.0)).abs();
-    let q_stream = merged_par.merged.quantile(q).unwrap_or(f64::NAN);
-    let q_exact = exact.merged.quantile(q).unwrap_or(f64::NAN);
-    println!(
-        "streaming vs exact: mean gap {mean_gap:.2e}   q({q}) {q_stream:.2} vs {q_exact:.2} ({:+.2}%)",
-        100.0 * (q_stream - q_exact) / q_exact
-    );
+    nc_bench::run_scenario_main(include_str!("../../../../examples/scenarios/ablation.json"));
 }

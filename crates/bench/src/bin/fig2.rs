@@ -4,6 +4,10 @@
 //! `H = 2, 5, 10`, with `U_0 = 15%` (N₀ = 100 through flows) held
 //! constant and `ε = 10⁻⁹`.
 //!
+//! Thin wrapper over the shipped scenario
+//! `examples/scenarios/fig2.json` run through [`nc_scenario::Engine`];
+//! command-line flags are applied on top of the scenario's defaults.
+//!
 //! Run with `cargo run --release -p nc-bench --bin fig2 --
 //! [--sim [--reps N] [--threads N] [--seed N] [--slots N]]`.
 //!
@@ -16,69 +20,6 @@
 //! BMUX from `H = 5` on; EDF noticeably lower with the gap growing in
 //! `H`; all bounds exploding as `U → 95%`.
 
-use nc_bench::{
-    flows_for_utilization, sim_overlay, tandem, RunArtifacts, RunOpts, EPSILON, OVERLAY_EPS,
-};
-use nc_core::PathScheduler;
-
 fn main() {
-    let opts = RunOpts::from_env(4, 20_000);
-    let artifacts = RunArtifacts::begin("fig2", &opts);
-    let n_through = flows_for_utilization(0.15); // N0 = 100
-    println!("# Fig. 2 — delay bounds [ms] vs total utilization U");
-    println!("# N0 = {n_through} (U0 = 15%), eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
-    if opts.sim {
-        println!(
-            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
-            opts.reps, opts.slots, opts.seed
-        );
-    }
-    for hops in [2usize, 5, 10] {
-        println!("\n## H = {hops}");
-        println!(
-            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}{}",
-            "U[%]",
-            "Nc",
-            "BMUX",
-            "FIFO",
-            "EDF",
-            "FIFO/BMUX",
-            if opts.sim { "  simFIFO q [spread]" } else { "" }
-        );
-        let mut u = 0.20;
-        while u <= 0.951 {
-            let n_total = flows_for_utilization(u);
-            let n_cross = n_total.saturating_sub(n_through);
-            let bmux = tandem(n_through, n_cross, hops, PathScheduler::Bmux)
-                .delay_bound(EPSILON)
-                .map(|b| b.bound.delay);
-            let fifo = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
-                .delay_bound(EPSILON)
-                .map(|b| b.bound.delay);
-            let edf = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
-                .edf_delay_bound_fixed_point(EPSILON, 10.0)
-                .map(|(b, _)| b.bound.delay);
-            let ratio = match (fifo, bmux) {
-                (Some(f), Some(b)) => format!("{:12.4}", f / b),
-                _ => format!("{:>12}", "-"),
-            };
-            let overlay = if opts.sim {
-                format!("  {}", sim_overlay(&opts, n_through, n_cross, hops))
-            } else {
-                String::new()
-            };
-            println!(
-                "{:>6.0} {:>6} {} {} {} {}{}",
-                u * 100.0,
-                n_cross,
-                nc_bench::fmt(bmux),
-                nc_bench::fmt(fifo),
-                nc_bench::fmt(edf),
-                ratio,
-                overlay
-            );
-            u += 0.05;
-        }
-    }
-    artifacts.finish();
+    nc_bench::run_scenario_main(include_str!("../../../../examples/scenarios/fig2.json"));
 }

@@ -8,6 +8,10 @@
 //! ratio is 2) and longer through deadlines (`d*_0 = 2·d*_c`, ratio
 //! 1/2).
 //!
+//! Thin wrapper over the shipped scenario
+//! `examples/scenarios/fig3.json` run through [`nc_scenario::Engine`];
+//! command-line flags are applied on top of the scenario's defaults.
+//!
 //! Run with `cargo run --release -p nc-bench --bin fig3 --
 //! [--sim [--reps N] [--threads N] [--seed N] [--slots N]]`.
 //!
@@ -19,77 +23,6 @@
 //! BMUX/FIFO grow steeply with the cross share; as `H` grows all
 //! schedulers drift toward BMUX behaviour.
 
-use nc_bench::{
-    flows_for_utilization, sim_overlay, tandem, RunArtifacts, RunOpts, EPSILON, OVERLAY_EPS,
-};
-use nc_core::PathScheduler;
-
 fn main() {
-    let opts = RunOpts::from_env(4, 20_000);
-    let artifacts = RunArtifacts::begin("fig3", &opts);
-    let u_total = 0.50;
-    let n_total = flows_for_utilization(u_total);
-    println!("# Fig. 3 — delay bounds [ms] vs traffic mix Uc/U (U = 50%)");
-    println!("# N_total = {n_total}, eps = {EPSILON:.0e}");
-    if opts.sim {
-        println!(
-            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
-            opts.reps, opts.slots, opts.seed
-        );
-    }
-    for hops in [2usize, 5, 10] {
-        println!("\n## H = {hops}");
-        println!(
-            "{:>6} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12}{}",
-            "Uc/U",
-            "N0",
-            "Nc",
-            "BMUX",
-            "FIFO",
-            "EDF(d0<dc)",
-            "EDF(d0>dc)",
-            if opts.sim { "  simFIFO q [spread]" } else { "" }
-        );
-        for mix_pct in (10..=90).step_by(10) {
-            let mix = mix_pct as f64 / 100.0;
-            let n_cross = ((n_total as f64) * mix).round() as usize;
-            let n_through = n_total - n_cross;
-            if n_through == 0 || n_cross == 0 {
-                continue;
-            }
-            let bmux = tandem(n_through, n_cross, hops, PathScheduler::Bmux)
-                .delay_bound(EPSILON)
-                .map(|b| b.bound.delay);
-            let fifo = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
-                .delay_bound(EPSILON)
-                .map(|b| b.bound.delay);
-            // d*_0 = d*_c / 2 ⇔ cross deadlines twice the through ones.
-            let edf_short = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
-                .edf_delay_bound_fixed_point(EPSILON, 2.0)
-                .map(|(b, _)| b.bound.delay);
-            // d*_0 = 2 d*_c ⇔ cross deadlines half the through ones.
-            let edf_long = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
-                .edf_delay_bound_fixed_point(EPSILON, 0.5)
-                .map(|(b, _)| b.bound.delay);
-            let edf_short = nc_bench::fmt(edf_short);
-            let edf_long = nc_bench::fmt(edf_long);
-            let overlay = if opts.sim {
-                format!("  {}", sim_overlay(&opts, n_through, n_cross, hops))
-            } else {
-                String::new()
-            };
-            println!(
-                "{:>6.2} {:>6} {:>6} {} {} {:>12} {:>12}{}",
-                mix,
-                n_through,
-                n_cross,
-                nc_bench::fmt(bmux),
-                nc_bench::fmt(fifo),
-                edf_short.trim(),
-                edf_long.trim(),
-                overlay,
-            );
-        }
-    }
-    artifacts.finish();
+    nc_bench::run_scenario_main(include_str!("../../../../examples/scenarios/fig3.json"));
 }

@@ -3,6 +3,10 @@
 //! (`U_0 = U_c`), for total utilizations `U = 10, 50, 90%` and
 //! `ε = 10⁻⁹`. Includes the additive node-by-node BMUX baseline.
 //!
+//! Thin wrapper over the shipped scenario
+//! `examples/scenarios/fig4.json` run through [`nc_scenario::Engine`];
+//! command-line flags are applied on top of the scenario's defaults.
+//!
 //! Run with `cargo run --release -p nc-bench --bin fig4 --
 //! [--sim [--reps N] [--threads N] [--seed N] [--slots N]]`.
 //!
@@ -17,61 +21,6 @@
 //! and BMUX appear identical over the whole range, and EDF stays
 //! noticeably lower at the higher utilizations.
 
-use nc_bench::{
-    flows_for_utilization, sim_overlay, tandem, RunArtifacts, RunOpts, EPSILON, OVERLAY_EPS,
-};
-use nc_core::PathScheduler;
-
 fn main() {
-    let opts = RunOpts::from_env(4, 20_000);
-    let artifacts = RunArtifacts::begin("fig4", &opts);
-    println!("# Fig. 4 — delay bounds [ms] vs path length H (N0 = Nc)");
-    println!("# eps = {EPSILON:.0e}, EDF: d*_0 = d/H, d*_c = 10 d/H");
-    if opts.sim {
-        println!(
-            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
-            opts.reps, opts.slots, opts.seed
-        );
-    }
-    for u in [0.10, 0.50, 0.90] {
-        let n_half = flows_for_utilization(u) / 2;
-        println!("\n## U = {:.0}% (N0 = Nc = {n_half})", u * 100.0);
-        println!(
-            "{:>4} {:>12} {:>10} {:>10} {:>10}{}",
-            "H",
-            "BMUX-add",
-            "BMUX",
-            "FIFO",
-            "EDF",
-            if opts.sim { "  simFIFO q [spread]" } else { "" }
-        );
-        for hops in [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 15, 20, 25, 30] {
-            let additive =
-                tandem(n_half, n_half, hops, PathScheduler::Bmux).additive_bmux_delay(EPSILON);
-            let bmux = tandem(n_half, n_half, hops, PathScheduler::Bmux)
-                .delay_bound(EPSILON)
-                .map(|b| b.bound.delay);
-            let fifo = tandem(n_half, n_half, hops, PathScheduler::Fifo)
-                .delay_bound(EPSILON)
-                .map(|b| b.bound.delay);
-            let edf = tandem(n_half, n_half, hops, PathScheduler::Fifo)
-                .edf_delay_bound_fixed_point(EPSILON, 10.0)
-                .map(|(b, _)| b.bound.delay);
-            let overlay = if opts.sim {
-                format!("  {}", sim_overlay(&opts, n_half, n_half, hops))
-            } else {
-                String::new()
-            };
-            println!(
-                "{:>4} {:>12} {} {} {}{}",
-                hops,
-                nc_bench::fmt(additive).trim_start(),
-                nc_bench::fmt(bmux),
-                nc_bench::fmt(fifo),
-                nc_bench::fmt(edf),
-                overlay
-            );
-        }
-    }
-    artifacts.finish();
+    nc_bench::run_scenario_main(include_str!("../../../../examples/scenarios/fig4.json"));
 }

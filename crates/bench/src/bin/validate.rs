@@ -7,13 +7,16 @@
 //! violation frequency of the bound. A valid bound satisfies
 //! `sim quantile ≤ bound` and `P̂(W > bound) ≤ ε`.
 //!
-//! Simulation runs through [`nc_sim::MonteCarlo`]: `--reps` independent
-//! replications (seeds derived from `--seed` via SplitMix64) are fanned
-//! across `--threads` workers and merged; next to each merged estimate
-//! the table reports the min–max spread of the per-replication
-//! estimates — an across-replication confidence envelope. Output is
-//! bitwise-identical for any `--threads` value and for builds with the
-//! `telemetry` feature on or off.
+//! Thin wrapper over the shipped scenario
+//! `examples/scenarios/validate.json` run through
+//! [`nc_scenario::Engine`]. Simulation runs through
+//! [`nc_sim::MonteCarlo`]: `--reps` independent replications (seeds
+//! derived from `--seed` via SplitMix64) are fanned across `--threads`
+//! workers and merged; next to each merged estimate the table reports
+//! the min–max spread of the per-replication estimates — an
+//! across-replication confidence envelope. Output is bitwise-identical
+//! for any `--threads` value and for builds with the `telemetry`
+//! feature on or off.
 //!
 //! Beyond the table, `--json` writes the same results as structured
 //! JSON, and the telemetry flags (`--metrics-out`, `--trace-out`,
@@ -23,294 +26,6 @@
 //! Run with `cargo run --release -p nc-bench --bin validate --
 //! [--reps N] [--threads N] [--seed N] [--slots N] [--json P] ...`.
 
-use nc_bench::{RunArtifacts, RunOpts};
-use nc_core::{deterministic_delay_bound, LeakyBucket, MmooTandem, PathScheduler};
-use nc_minplus::Curve;
-use nc_sim::{MonteCarloReport, SchedulerKind, SimConfig};
-use nc_telemetry::json;
-use nc_traffic::Mmoo;
-
 fn main() {
-    let opts = RunOpts::from_env_with_json(8, 250_000);
-    let artifacts = RunArtifacts::begin("validate", &opts);
-    let source = Mmoo::paper_source();
-    let capacity = 20.0; // scaled down so simulation reaches the tail
-    let eps = 1e-3;
-    let mut out = JsonOut::new(&opts, capacity, eps);
-    println!("# Analytical bounds vs simulation (C = {capacity} kb/ms, eps = {eps:.0e})");
-    println!(
-        "# {} reps x {} slots (warmup 10k each), master seed {:#x}, spread = min..max over reps",
-        opts.reps, opts.slots, opts.seed
-    );
-    for (hops, n_through, n_cross) in [(1usize, 40, 60), (2, 40, 60), (4, 40, 60)] {
-        println!(
-            "\n## H = {hops}, N0 = {n_through}, Nc = {n_cross} (U ≈ {:.0}%)",
-            (n_through + n_cross) as f64 * source.mean_rate() / capacity * 100.0
-        );
-        out.open_section(hops, n_through, n_cross);
-        println!(
-            "{:>18} {:>10} {:>12} {:>17} {:>12} {:>21} {:>14}",
-            "scheduler", "bound", "sim q(1-eps)", "q spread", "P(W>bound)", "P spread", "valid"
-        );
-        let cases: Vec<(&str, PathScheduler, SchedulerKind)> = vec![
-            ("FIFO", PathScheduler::Fifo, SchedulerKind::Fifo),
-            ("BMUX", PathScheduler::Bmux, SchedulerKind::Bmux),
-            ("SP(through hi)", PathScheduler::ThroughPriority, SchedulerKind::ThroughPriority),
-            (
-                "EDF(10,40)",
-                PathScheduler::Edf { d_through: 10.0, d_cross: 40.0 },
-                SchedulerKind::Edf { d_through: 10.0, d_cross: 40.0 },
-            ),
-        ];
-        for (name, analysis_sched, sim_sched) in cases {
-            let analysis = MmooTandem {
-                source,
-                n_through,
-                n_cross,
-                capacity,
-                hops,
-                scheduler: analysis_sched,
-            };
-            let bound = analysis.delay_bound(eps).map(|b| b.bound.delay);
-            let mut report =
-                run_cell(&opts, cfg(capacity, hops, n_through, n_cross, sim_sched, source), bound);
-            let q = report.merged.quantile(1.0 - eps).unwrap_or(f64::NAN);
-            let q_spread = report.quantile_spread(1.0 - eps);
-            let (viol, p_spread, valid) = match bound {
-                Some(b) => {
-                    let v = report.merged.violation_fraction(b);
-                    (Some(v), report.violation_spread(b), Some(q <= b && v <= eps))
-                }
-                None => (None, None, None),
-            };
-            let (viol_col, pspread_col, valid_col) = match (bound, viol) {
-                (Some(_), Some(v)) => (
-                    format!("{v:12.2e}"),
-                    fmt_spread_sci(p_spread),
-                    if valid == Some(true) { "yes" } else { "NO" },
-                ),
-                _ => (format!("{:>12}", "-"), format!("{:>21}", "-"), "-"),
-            };
-            println!(
-                "{:>18} {} {:>12.2} {} {} {} {:>14}",
-                name,
-                nc_bench::fmt(bound),
-                q,
-                fmt_spread(q_spread),
-                viol_col,
-                pspread_col,
-                valid_col
-            );
-            out.cell(name, bound, q, q_spread, viol, p_spread, valid, None);
-        }
-        // GPS has no Δ-scheduler bound; report it against the BMUX bound,
-        // which dominates every work-conserving locally-FIFO scheduler.
-        let bmux_bound = MmooTandem {
-            source,
-            n_through,
-            n_cross,
-            capacity,
-            hops,
-            scheduler: PathScheduler::Bmux,
-        }
-        .delay_bound(eps)
-        .map(|b| b.bound.delay);
-        let gps = SchedulerKind::Gps { w_through: 1.0, w_cross: 1.0 };
-        let mut report =
-            run_cell(&opts, cfg(capacity, hops, n_through, n_cross, gps, source), bmux_bound);
-        let q = report.merged.quantile(1.0 - eps).unwrap_or(f64::NAN);
-        let q_spread = report.quantile_spread(1.0 - eps);
-        let note = match bmux_bound {
-            Some(b) if q <= b => "yes (vs BMUX)",
-            Some(_) => "NO (vs BMUX)",
-            None => "-",
-        };
-        println!(
-            "{:>18} {} {:>12.2} {} {:>12} {:>21} {:>14}",
-            "GPS(1:1)",
-            nc_bench::fmt(bmux_bound),
-            q,
-            fmt_spread(q_spread),
-            "n/a",
-            "n/a",
-            note
-        );
-        let gps_valid = bmux_bound.map(|b| q <= b);
-        out.cell("GPS(1:1)", bmux_bound, q, q_spread, None, None, gps_valid, Some("vs BMUX"));
-        out.close_section();
-    }
-
-    // Deterministic min-plus cross-check: for leaky-bucket traffic under
-    // BMUX, the γ = 0 optimizer bound must equal the classical pipeline
-    // (H-fold convolution of the leftover rate-latency curves, then the
-    // horizontal deviation against the through envelope). Two independent
-    // implementations agreeing at runtime; the computation is exact and
-    // deterministic, so this line is identical with telemetry on or off.
-    let (mp_opt, mp_conv) = minplus_cross_check(capacity, 4);
-    println!(
-        "\n# min-plus cross-check (H = 4, BMUX, leaky buckets): optimizer {mp_opt:.6} vs \
-         convolution pipeline {mp_conv:.6} -> {}",
-        if (mp_opt - mp_conv).abs() <= 1e-6 { "consistent" } else { "MISMATCH" }
-    );
-    out.minplus_check(mp_opt, mp_conv);
-
-    if let Some(path) = &opts.json {
-        if let Err(e) = nc_telemetry::export::write_file(path, &out.render()) {
-            eprintln!("error: cannot write --json output to {path}: {e}");
-            std::process::exit(1);
-        }
-    }
-    artifacts.finish();
-}
-
-fn cfg(
-    capacity: f64,
-    hops: usize,
-    n_through: usize,
-    n_cross: usize,
-    scheduler: SchedulerKind,
-    source: Mmoo,
-) -> SimConfig {
-    SimConfig {
-        capacity,
-        hops,
-        n_through,
-        n_cross,
-        source,
-        scheduler,
-        warmup: 10_000,
-        packet_size: None,
-    }
-}
-
-/// Runs one table cell: `opts.reps` replications merged through the
-/// engine, tracking the cell's bound as an exact threshold. Folds the
-/// cell's metric shard into the process-wide registry for the artifact
-/// writers.
-fn run_cell(opts: &RunOpts, cfg: SimConfig, bound: Option<f64>) -> MonteCarloReport {
-    let thresholds: Vec<f64> = bound.into_iter().collect();
-    let report = opts.monte_carlo(&thresholds).run(cfg);
-    nc_telemetry::merge_global(&report.metrics);
-    report
-}
-
-/// The γ = 0 BMUX optimizer bound and the classical min-plus pipeline
-/// bound for the same leaky-bucket tandem (they must agree; computing
-/// the pipeline also exercises the instrumented min-plus operators).
-fn minplus_cross_check(capacity: f64, hops: usize) -> (f64, f64) {
-    let through = LeakyBucket::new(6.0, 10.0);
-    let cross = LeakyBucket::new(9.0, 15.0);
-    let opt = deterministic_delay_bound(capacity, hops, through, cross, PathScheduler::Bmux)
-        .expect("leaky-bucket tandem is stable");
-    let leftover =
-        Curve::rate_latency(capacity - cross.rate, cross.burst / (capacity - cross.rate));
-    let mut net = Curve::delta(0.0);
-    for _ in 0..hops {
-        net = net.convolve(&leftover);
-    }
-    let env = Curve::token_bucket(through.rate, through.burst);
-    let conv = env.h_deviation(&net).expect("finite delay");
-    (opt, conv)
-}
-
-fn fmt_spread(s: Option<(f64, f64)>) -> String {
-    match s {
-        Some((lo, hi)) => format!("{:>17}", format!("[{lo:.2}, {hi:.2}]")),
-        None => format!("{:>17}", "-"),
-    }
-}
-
-fn fmt_spread_sci(s: Option<(f64, f64)>) -> String {
-    match s {
-        Some((lo, hi)) => format!("{:>21}", format!("[{lo:.1e}, {hi:.1e}]")),
-        None => format!("{:>21}", "-"),
-    }
-}
-
-/// Accumulates the table into the `--json` document (hand-assembled;
-/// the build has no serde).
-struct JsonOut {
-    head: String,
-    sections: Vec<String>,
-    cur: Option<(String, Vec<String>)>,
-    tail: String,
-}
-
-impl JsonOut {
-    fn new(opts: &RunOpts, capacity: f64, eps: f64) -> Self {
-        let head = format!(
-            "{{\"binary\":\"validate\",\"capacity\":{},\"epsilon\":{},\"reps\":{},\
-             \"threads\":{},\"seed\":{},\"slots\":{}",
-            json::num(capacity),
-            json::num(eps),
-            opts.reps,
-            opts.threads,
-            opts.seed,
-            opts.slots
-        );
-        JsonOut { head, sections: Vec::new(), cur: None, tail: String::new() }
-    }
-
-    fn open_section(&mut self, hops: usize, n_through: usize, n_cross: usize) {
-        let head =
-            format!("{{\"hops\":{hops},\"n_through\":{n_through},\"n_cross\":{n_cross},\"cells\":");
-        self.cur = Some((head, Vec::new()));
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn cell(
-        &mut self,
-        scheduler: &str,
-        bound: Option<f64>,
-        sim_q: f64,
-        q_spread: Option<(f64, f64)>,
-        violation: Option<f64>,
-        p_spread: Option<(f64, f64)>,
-        valid: Option<bool>,
-        note: Option<&str>,
-    ) {
-        let opt = |v: Option<f64>| v.map_or("null".to_string(), json::num);
-        let spread = |s: Option<(f64, f64)>| {
-            s.map_or("null".to_string(), |(lo, hi)| {
-                format!("[{},{}]", json::num(lo), json::num(hi))
-            })
-        };
-        let mut cell = format!(
-            "{{\"scheduler\":{},\"bound\":{},\"sim_quantile\":{},\"quantile_spread\":{},\
-             \"violation\":{},\"violation_spread\":{},\"valid\":{}",
-            json::string(scheduler),
-            opt(bound),
-            json::num(sim_q),
-            spread(q_spread),
-            opt(violation),
-            spread(p_spread),
-            valid.map_or("null".to_string(), |v| v.to_string()),
-        );
-        if let Some(n) = note {
-            cell.push_str(&format!(",\"note\":{}", json::string(n)));
-        }
-        cell.push('}');
-        self.cur.as_mut().expect("cell outside section").1.push(cell);
-    }
-
-    fn close_section(&mut self) {
-        let (head, cells) = self.cur.take().expect("no open section");
-        self.sections.push(format!("{head}[{}]}}", cells.join(",")));
-    }
-
-    fn minplus_check(&mut self, optimizer: f64, convolution: f64) {
-        self.tail = format!(
-            ",\"minplus_check\":{{\"optimizer\":{},\"convolution\":{},\"abs_diff\":{}}}",
-            json::num(optimizer),
-            json::num(convolution),
-            json::num((optimizer - convolution).abs())
-        );
-    }
-
-    fn render(&self) -> String {
-        let doc =
-            format!("{},\"sections\":[{}]{}}}\n", self.head, self.sections.join(","), self.tail);
-        debug_assert!(json::validate(&doc).is_ok());
-        doc
-    }
+    nc_bench::run_scenario_main(include_str!("../../../../examples/scenarios/validate.json"));
 }

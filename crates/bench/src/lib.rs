@@ -1,4 +1,4 @@
-//! Shared helpers for the figure-regeneration binaries and benches.
+//! Shared surface of the figure-regeneration binaries and benches.
 //!
 //! The binaries in `src/bin/` regenerate the evaluation figures of
 //! *"Does Link Scheduling Matter on Long Paths?"* (ICDCS 2010):
@@ -11,6 +11,13 @@
 //! * `ablation` — design-choice ablations (optimizer, slack splitting,
 //!   grid resolution).
 //!
+//! Each binary is a thin wrapper over a shipped scenario file in
+//! `examples/scenarios/` run through [`nc_scenario::Engine`]; the
+//! helpers this crate used to define ([`tandem`],
+//! [`flows_for_utilization`], [`RunOpts`], [`RunArtifacts`], …) now
+//! live in `nc-scenario` and are re-exported here for the benches and
+//! downstream users.
+//!
 //! All use the paper's conventions: `C = 100` kb per 1 ms slot, MMOO
 //! flows with a mean rate of 0.15 kb/ms (so `U = N·0.15/100`), and
 //! violation probability `ε = 10⁻⁹`.
@@ -18,442 +25,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nc_core::{MmooTandem, PathScheduler};
-use nc_sim::MonteCarlo;
-use nc_telemetry as tel;
-use nc_traffic::Mmoo;
-use std::str::FromStr;
+pub use nc_scenario::{
+    flows_for_utilization, fmt, overlay_report, parse_sched, sim_overlay, tandem, Engine,
+    RunArtifacts, RunOpts, RunSummary, Scenario, CAPACITY, EPSILON, FLOW_MEAN, OVERLAY_EPS, USAGE,
+};
 
-/// The paper's per-flow mean rate used in the utilization convention
-/// (`U = N · 0.15 / C`; the exact MMOO mean is ≈0.1486).
-pub const FLOW_MEAN: f64 = 0.15;
-
-/// The paper's link capacity in kb per 1 ms slot (100 Mbps).
-pub const CAPACITY: f64 = 100.0;
-
-/// The paper's violation probability.
-pub const EPSILON: f64 = 1e-9;
-
-/// Number of flows corresponding to a utilization fraction `u` under
-/// the paper's convention.
-pub fn flows_for_utilization(u: f64) -> usize {
-    (u * CAPACITY / FLOW_MEAN).round() as usize
+/// Loads an embedded scenario document and resolves its run options
+/// from the environment, exiting with a usage message on a flag error
+/// (shared entry point of the figure binaries).
+pub fn scenario_from_env(embedded_json: &str) -> (Scenario, RunOpts) {
+    let scenario = Scenario::from_json(embedded_json).expect("embedded scenario parses");
+    let opts = Engine::opts_from_env(&scenario);
+    (scenario, opts)
 }
 
-/// Builds the paper's tandem for given flow counts.
-pub fn tandem(n_through: usize, n_cross: usize, hops: usize, sched: PathScheduler) -> MmooTandem {
-    MmooTandem {
-        source: Mmoo::paper_source(),
-        n_through,
-        n_cross,
-        capacity: CAPACITY,
-        hops,
-        scheduler: sched,
-    }
-}
-
-/// Formats an optional delay value for table output.
-pub fn fmt(d: Option<f64>) -> String {
-    match d {
-        Some(v) if v.is_finite() => format!("{v:10.2}"),
-        _ => format!("{:>10}", "-"),
-    }
-}
-
-/// Usage text for the options shared by the binaries.
-pub const USAGE: &str = "options:
-  --reps N          independent Monte Carlo replications (seed-derived)
-  --threads N       worker threads (0 = auto-detect; default)
-  --seed N          master seed; per-replication seeds derive from it
-  --slots N         simulated slots per replication
-  --sim             add simulated-quantile overlay columns (figure binaries)
-  --progress        live replication progress + ETA on stderr
-  --metrics-out P   write Prometheus text-format metrics to P
-  --trace-out P     write a Chrome trace_event JSON profile to P
-  --events-out P    write a JSONL telemetry event stream to P
-  --manifest-out P  write the run-manifest JSON to P (defaults to
-                    <first artifact>.manifest.json when any artifact
-                    flag is given)
-  --json P          write machine-readable results to P (validate only)
-  -h, --help        show this help";
-
-/// Command-line options shared by the figure/validation binaries:
-/// `--reps`, `--threads`, `--seed`, `--slots`, `--sim`, `--progress`,
-/// and the artifact outputs `--metrics-out`, `--trace-out`,
-/// `--events-out`, `--manifest-out` (plus `--json` where the binary
-/// opts in via [`RunOpts::from_env_with_json`]).
-///
-/// The same master seed always produces the same output, regardless of
-/// `--threads` (see [`MonteCarlo`]) and of whether telemetry is
-/// compiled in.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunOpts {
-    /// Independent replications per table cell.
-    pub reps: usize,
-    /// Worker threads (`0` = auto-detect).
-    pub threads: usize,
-    /// Master seed for per-replication seed derivation.
-    pub seed: u64,
-    /// Simulated slots per replication.
-    pub slots: u64,
-    /// Whether simulation overlay columns were requested (`--sim`).
-    pub sim: bool,
-    /// Whether to report live progress + ETA on stderr (`--progress`).
-    pub progress: bool,
-    /// Prometheus text-exposition output path (`--metrics-out`).
-    pub metrics_out: Option<String>,
-    /// Chrome trace_event JSON output path (`--trace-out`).
-    pub trace_out: Option<String>,
-    /// JSONL event-stream output path (`--events-out`).
-    pub events_out: Option<String>,
-    /// Run-manifest JSON output path (`--manifest-out`).
-    pub manifest_out: Option<String>,
-    /// Machine-readable results path (`--json`; only parsed for
-    /// binaries that accept it).
-    pub json: Option<String>,
-    /// Whether this binary accepts `--json` (validate only).
-    pub accepts_json: bool,
-}
-
-impl RunOpts {
-    /// Binary-specific defaults: `reps` replications of `slots` slots,
-    /// auto thread count, a fixed default master seed, no overlay, no
-    /// artifacts.
-    pub fn new(reps: usize, slots: u64) -> Self {
-        RunOpts {
-            reps,
-            threads: 0,
-            seed: 0x1CDC_5201_0F1D,
-            slots,
-            sim: false,
-            progress: false,
-            metrics_out: None,
-            trace_out: None,
-            events_out: None,
-            manifest_out: None,
-            json: None,
-            accepts_json: false,
-        }
-    }
-
-    /// Enables the `--json` flag (validate only).
-    pub fn with_json(mut self) -> Self {
-        self.accepts_json = true;
-        self
-    }
-
-    /// Applies command-line arguments (without the program name) on top
-    /// of the defaults.
-    pub fn parse<I: IntoIterator<Item = String>>(mut self, args: I) -> Result<Self, String> {
-        let mut it = args.into_iter();
-        while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--reps" => self.reps = value(&mut it, "--reps")?,
-                "--threads" => self.threads = value(&mut it, "--threads")?,
-                "--seed" => self.seed = value(&mut it, "--seed")?,
-                "--slots" => self.slots = value(&mut it, "--slots")?,
-                "--sim" => self.sim = true,
-                "--progress" => self.progress = true,
-                "--metrics-out" => self.metrics_out = Some(value(&mut it, "--metrics-out")?),
-                "--trace-out" => self.trace_out = Some(value(&mut it, "--trace-out")?),
-                "--events-out" => self.events_out = Some(value(&mut it, "--events-out")?),
-                "--manifest-out" => self.manifest_out = Some(value(&mut it, "--manifest-out")?),
-                "--json" if self.accepts_json => self.json = Some(value(&mut it, "--json")?),
-                "-h" | "--help" => return Err(USAGE.to_string()),
-                other => return Err(format!("unknown option `{other}`\n{USAGE}")),
-            }
-        }
-        if self.reps == 0 {
-            return Err("--reps must be positive".to_string());
-        }
-        if self.slots == 0 {
-            return Err("--slots must be positive".to_string());
-        }
-        Ok(self)
-    }
-
-    /// Parses `std::env::args()` on top of the defaults, exiting with
-    /// usage on error.
-    pub fn from_env(reps: usize, slots: u64) -> Self {
-        Self::new(reps, slots).parse_env_or_exit()
-    }
-
-    /// Like [`RunOpts::from_env`], additionally accepting `--json`
-    /// (used by `validate`; the other binaries reject the flag).
-    pub fn from_env_with_json(reps: usize, slots: u64) -> Self {
-        Self::new(reps, slots).with_json().parse_env_or_exit()
-    }
-
-    fn parse_env_or_exit(self) -> Self {
-        match self.parse(std::env::args().skip(1)) {
-            Ok(opts) => opts,
-            Err(msg) => {
-                eprintln!("{msg}");
-                std::process::exit(2);
-            }
-        }
-    }
-
-    /// Whether any telemetry artifact output was requested.
-    pub fn wants_artifacts(&self) -> bool {
-        self.metrics_out.is_some()
-            || self.trace_out.is_some()
-            || self.events_out.is_some()
-            || self.manifest_out.is_some()
-    }
-
-    /// Whether per-replication metric shards are needed (any output
-    /// that renders the metric registry).
-    pub fn wants_metrics(&self) -> bool {
-        self.metrics_out.is_some() || self.events_out.is_some() || self.manifest_out.is_some()
-    }
-
-    /// The manifest path: `--manifest-out` if given, otherwise derived
-    /// from the first artifact path (`<path>.manifest.json`). `None`
-    /// when no artifact output was requested.
-    pub fn manifest_path(&self) -> Option<String> {
-        self.manifest_out.clone().or_else(|| {
-            self.metrics_out
-                .as_ref()
-                .or(self.trace_out.as_ref())
-                .or(self.events_out.as_ref())
-                .map(|p| format!("{p}.manifest.json"))
-        })
-    }
-
-    /// A streaming Monte Carlo plan per these options, tracking the
-    /// given thresholds exactly (pass the analytical bounds here so the
-    /// reported violation fractions are exact, not reservoir-estimated).
-    /// Progress reporting and metric collection follow the flags.
-    pub fn monte_carlo(&self, thresholds: &[f64]) -> MonteCarlo {
-        MonteCarlo::new(self.reps, self.slots, self.seed)
-            .threads(self.threads)
-            .streaming(thresholds)
-            .progress(self.progress)
-            .collect_metrics(self.wants_metrics())
-    }
-}
-
-/// Writes the telemetry artifacts (`--metrics-out`, `--trace-out`,
-/// `--events-out`, and the run manifest) at the end of a binary's run.
-///
-/// Construct with [`RunArtifacts::begin`] before the workload, merge
-/// per-run metric shards with [`RunArtifacts::absorb`] (or let
-/// [`sim_overlay`] do it), and call [`RunArtifacts::finish`] last.
-/// Without artifact flags every method is a no-op, and without the
-/// `telemetry` feature the files are written but carry empty metric and
-/// span sections.
-#[derive(Debug)]
-pub struct RunArtifacts {
-    opts: RunOpts,
-    binary: String,
-    start: std::time::Instant,
-}
-
-impl RunArtifacts {
-    /// Starts artifact collection for `binary` (resets the global
-    /// registry and span buffer so the artifacts cover exactly this
-    /// run).
-    pub fn begin(binary: &str, opts: &RunOpts) -> Self {
-        if opts.wants_artifacts() {
-            tel::reset_global();
-            tel::reset_spans();
-        }
-        RunArtifacts {
-            opts: opts.clone(),
-            binary: binary.to_string(),
-            start: std::time::Instant::now(),
-        }
-    }
-
-    /// Merges a Monte Carlo report's metric shard into the artifacts.
-    pub fn absorb(&self, metrics: &tel::MetricSet) {
-        tel::merge_global(metrics);
-    }
-
-    /// Writes all requested artifacts, exiting with an error message if
-    /// a file cannot be written.
-    pub fn finish(self) {
-        if let Err(e) = self.try_finish() {
-            eprintln!("error: cannot write telemetry artifacts: {e}");
-            std::process::exit(1);
-        }
-    }
-
-    fn try_finish(&self) -> std::io::Result<()> {
-        if !self.opts.wants_artifacts() {
-            return Ok(());
-        }
-        let set = tel::global_snapshot();
-        let spans = tel::spans_snapshot();
-        let dropped = tel::dropped_spans();
-        let mut artifacts: Vec<(String, String)> = Vec::new();
-        if let Some(p) = &self.opts.metrics_out {
-            tel::export::write_file(p, &tel::export::prometheus(&set))?;
-            artifacts.push(("metrics".to_string(), p.clone()));
-        }
-        if let Some(p) = &self.opts.trace_out {
-            tel::export::write_file(p, &tel::export::chrome_trace(&self.binary, &spans, dropped))?;
-            artifacts.push(("trace".to_string(), p.clone()));
-        }
-        if let Some(p) = &self.opts.events_out {
-            tel::export::write_file(p, &tel::export::events_jsonl(&set, &spans, dropped))?;
-            artifacts.push(("events".to_string(), p.clone()));
-        }
-        if let Some(p) = &self.opts.json {
-            artifacts.push(("results".to_string(), p.clone()));
-        }
-        if let Some(mp) = self.opts.manifest_path() {
-            let mut m = tel::RunManifest::new(&self.binary);
-            m.reps = self.opts.reps;
-            m.threads = self.opts.threads;
-            m.seed = self.opts.seed;
-            m.slots = self.opts.slots;
-            m.wall_seconds = self.start.elapsed().as_secs_f64();
-            m.artifacts = artifacts;
-            m.write(&mp)?;
-        }
-        Ok(())
-    }
-}
-
-fn value<T: FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<T, String> {
-    let raw = it.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
-    raw.parse().map_err(|_| format!("{flag}: cannot parse `{raw}`\n{USAGE}"))
-}
-
-/// Violation level of the figure binaries' simulation overlay: the
-/// analytical figures use ε = 10⁻⁹, which no direct simulation reaches,
-/// so the overlay reports the simulated `q(1 − 10⁻³)` — a lower
-/// reference point every valid ε = 10⁻⁹ bound must exceed.
-pub const OVERLAY_EPS: f64 = 1e-3;
-
-/// Runs the paper's tandem (FIFO, `C = 100`) through the Monte Carlo
-/// engine and formats the merged simulated `q(1 − OVERLAY_EPS)` plus
-/// its across-replication spread for the figure binaries' `--sim`
-/// overlay column.
-pub fn sim_overlay(opts: &RunOpts, n_through: usize, n_cross: usize, hops: usize) -> String {
-    let cfg = nc_sim::SimConfig {
-        capacity: CAPACITY,
-        hops,
-        n_through,
-        n_cross,
-        source: Mmoo::paper_source(),
-        scheduler: nc_sim::SchedulerKind::Fifo,
-        warmup: 5_000,
-        packet_size: None,
-    };
-    let mut report = opts.monte_carlo(&[]).run(cfg);
-    tel::merge_global(&report.metrics);
-    let q = 1.0 - OVERLAY_EPS;
-    match (report.merged.quantile(q), report.quantile_spread(q)) {
-        (Some(m), Some((lo, hi))) => format!("{m:9.2} [{lo:.2}, {hi:.2}]"),
-        _ => format!("{:>9} -", "-"),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn utilization_round_trip() {
-        assert_eq!(flows_for_utilization(0.15), 100);
-        assert_eq!(flows_for_utilization(0.50), 333);
-        assert_eq!(flows_for_utilization(0.95), 633);
-    }
-
-    #[test]
-    fn tandem_matches_paper_defaults() {
-        let t = tandem(100, 233, 5, PathScheduler::Fifo);
-        assert_eq!(t.capacity, CAPACITY);
-        assert!((t.utilization() - 0.495).abs() < 0.02);
-    }
-
-    #[test]
-    fn fmt_handles_missing() {
-        assert!(fmt(None).contains('-'));
-        assert!(fmt(Some(12.345)).contains("12.3"));
-    }
-
-    fn args(s: &[&str]) -> Vec<String> {
-        s.iter().map(|a| a.to_string()).collect()
-    }
-
-    #[test]
-    fn runopts_defaults_and_flags() {
-        let o = RunOpts::new(8, 250_000).parse(args(&[])).unwrap();
-        assert_eq!((o.reps, o.threads, o.slots, o.sim), (8, 0, 250_000, false));
-        assert!(!o.progress && !o.wants_artifacts() && !o.wants_metrics());
-        let o = RunOpts::new(8, 250_000)
-            .parse(args(&[
-                "--reps",
-                "4",
-                "--threads",
-                "2",
-                "--seed",
-                "7",
-                "--slots",
-                "100",
-                "--sim",
-            ]))
-            .unwrap();
-        assert_eq!(
-            o,
-            RunOpts {
-                reps: 4,
-                threads: 2,
-                seed: 7,
-                slots: 100,
-                sim: true,
-                ..RunOpts::new(8, 250_000)
-            }
-        );
-    }
-
-    #[test]
-    fn runopts_artifact_flags() {
-        let o = RunOpts::new(2, 100)
-            .parse(args(&["--progress", "--metrics-out", "m.prom", "--trace-out", "t.json"]))
-            .unwrap();
-        assert!(o.progress && o.wants_artifacts() && o.wants_metrics());
-        assert_eq!(o.metrics_out.as_deref(), Some("m.prom"));
-        assert_eq!(o.manifest_path().as_deref(), Some("m.prom.manifest.json"));
-
-        // --trace-out alone needs no metric shards but still a manifest.
-        let o = RunOpts::new(2, 100).parse(args(&["--trace-out", "t.json"])).unwrap();
-        assert!(o.wants_artifacts() && !o.wants_metrics());
-        assert_eq!(o.manifest_path().as_deref(), Some("t.json.manifest.json"));
-
-        let o = RunOpts::new(2, 100).parse(args(&["--manifest-out", "run.json"])).unwrap();
-        assert_eq!(o.manifest_path().as_deref(), Some("run.json"));
-        assert!(RunOpts::new(2, 100).parse(args(&[])).unwrap().manifest_path().is_none());
-    }
-
-    #[test]
-    fn runopts_json_only_where_accepted() {
-        // validate opts in; the figure binaries reject the flag.
-        let o = RunOpts::new(2, 100).with_json().parse(args(&["--json", "v.json"])).unwrap();
-        assert_eq!(o.json.as_deref(), Some("v.json"));
-        assert!(RunOpts::new(2, 100).parse(args(&["--json", "v.json"])).is_err());
-        // --json alone does not switch on telemetry collection.
-        assert!(!o.wants_artifacts() && !o.wants_metrics());
-    }
-
-    #[test]
-    fn runopts_rejects_bad_input() {
-        assert!(RunOpts::new(8, 1).parse(args(&["--reps"])).is_err());
-        assert!(RunOpts::new(8, 1).parse(args(&["--reps", "x"])).is_err());
-        assert!(RunOpts::new(8, 1).parse(args(&["--reps", "0"])).is_err());
-        assert!(RunOpts::new(8, 1).parse(args(&["--frobnicate"])).is_err());
-        assert!(RunOpts::new(8, 1).parse(args(&["--help"])).unwrap_err().contains("--reps"));
-    }
-
-    #[test]
-    fn runopts_monte_carlo_plan() {
-        let o = RunOpts::new(3, 1_000).parse(args(&["--threads", "2"])).unwrap();
-        let mc = o.monte_carlo(&[5.0]);
-        assert_eq!((mc.reps, mc.threads, mc.slots), (3, 2, 1_000));
-        assert_eq!(mc.seeds().len(), 3);
+/// Runs an embedded scenario end to end, mapping engine errors to a
+/// nonzero exit (shared main body of the figure binaries).
+pub fn run_scenario_main(embedded_json: &str) {
+    let (scenario, opts) = scenario_from_env(embedded_json);
+    if let Err(e) = Engine::new(scenario, opts).run() {
+        eprintln!("{e}");
+        std::process::exit(1);
     }
 }

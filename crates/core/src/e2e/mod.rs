@@ -133,11 +133,36 @@ impl TandemPath {
             .collect()
     }
 
+    /// The bit-exact memo key of one `(path, ε, γ)` solver instance.
+    /// Two instances with equal keys feed byte-identical inputs into
+    /// `sigma_for` and `optimizer::solve`, so their results are
+    /// interchangeable. The scheduler enters only through its constant
+    /// Δ — `Fifo` and `Delta(0.0)` deliberately share entries.
+    fn solver_key(&self, epsilon: f64, gamma: f64) -> crate::memo::SolverKey {
+        [
+            self.capacity.to_bits(),
+            self.hops as u64,
+            self.through.m().to_bits(),
+            self.through.rho().to_bits(),
+            self.through.alpha().to_bits(),
+            self.cross.m().to_bits(),
+            self.cross.rho().to_bits(),
+            self.cross.alpha().to_bits(),
+            self.scheduler.delta().to_bits(),
+            epsilon.to_bits(),
+            gamma.to_bits(),
+        ]
+    }
+
     /// The end-to-end delay bound at a *fixed* `γ` (steps 1–2 of the
     /// pipeline; no outer optimization).
     ///
     /// Returns `None` if `γ` is outside `(0, γ_max)` or the optimization
     /// is infeasible.
+    ///
+    /// When the solver memo cache is enabled on this thread (see
+    /// [`crate::enable_solver_cache`]), identical instances are solved
+    /// once and replayed from the cache.
     ///
     /// # Panics
     ///
@@ -148,16 +173,18 @@ impl TandemPath {
             return None;
         }
         tel::counter("core_gamma_evals_total", 1);
-        let cross_nodes = vec![self.cross; self.hops];
-        let sigma = netbound::sigma_for(&self.through, &cross_nodes, gamma, epsilon);
-        let sol = optimizer::solve(&self.node_params(gamma), sigma)?;
-        Some(E2eDelayBound {
-            delay: sol.delay,
-            epsilon,
-            sigma,
-            gamma,
-            x: sol.x,
-            thetas: sol.thetas,
+        crate::memo::solve_cached(self.solver_key(epsilon, gamma), || {
+            let cross_nodes = vec![self.cross; self.hops];
+            let sigma = netbound::sigma_for(&self.through, &cross_nodes, gamma, epsilon);
+            let sol = optimizer::solve(&self.node_params(gamma), sigma)?;
+            Some(E2eDelayBound {
+                delay: sol.delay,
+                epsilon,
+                sigma,
+                gamma,
+                x: sol.x,
+                thetas: sol.thetas,
+            })
         })
     }
 

@@ -56,6 +56,7 @@
 pub mod admission;
 mod delta;
 pub mod e2e;
+mod memo;
 mod packet;
 pub mod scaling;
 mod schedulability;
@@ -68,6 +69,7 @@ pub use e2e::hetero::{HeteroNode, HeteroPath};
 pub use e2e::{
     E2eDelayBound, MmooDelayBound, MmooTandem, SourceDelayBound, SourceTandem, TandemPath,
 };
+pub use memo::{enable_solver_cache, solver_cache_stats, SolverCacheGuard, SolverCacheStats};
 pub use packet::{packetization_penalty, packetize_service, packetized_delay_bound};
 pub use schedulability::{
     adversarial_scenario, delay_feasible, min_feasible_delay, AdversarialScenario,

@@ -1,0 +1,216 @@
+//! Thread-local memoization of Eq. (38) solver instances.
+//!
+//! The γ/s grid searches behind [`TandemPath::delay_bound`] and
+//! [`SourceTandem::optimize_over_s`] re-solve identical optimization
+//! instances constantly: the EDF fixed point starts from the FIFO bound
+//! at the same `(s, γ)` values a FIFO column computed moments earlier,
+//! a utilization sweep revisits the same flow counts for each scheduler,
+//! and the refinement rounds re-evaluate grid points they already saw.
+//! With the cache enabled, an Eq. (38) instance — keyed bit-exactly on
+//! every input of [`TandemPath::delay_bound_at_gamma`] — is solved once
+//! per scenario run.
+//!
+//! The cache is **off by default** and scoped to an RAII guard
+//! ([`enable_solver_cache`]), so one-shot library callers pay nothing
+//! and long-lived processes cannot leak entries. Hit/miss counts go to
+//! the `nc-telemetry` counters `core_solver_cache_hits_total` /
+//! `core_solver_cache_misses_total` and are also readable
+//! programmatically via [`solver_cache_stats`].
+//!
+//! Keys are the *bit patterns* of the inputs, so a hit can only occur
+//! for byte-identical parameters and returns a byte-identical result —
+//! enabling the cache never perturbs any output.
+//!
+//! [`TandemPath::delay_bound`]: crate::TandemPath::delay_bound
+//! [`TandemPath::delay_bound_at_gamma`]: crate::TandemPath::delay_bound_at_gamma
+//! [`SourceTandem::optimize_over_s`]: crate::SourceTandem::optimize_over_s
+
+use crate::e2e::E2eDelayBound;
+use nc_telemetry as tel;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Bit-exact cache key: capacity, hops, through EBB `(M, ρ, α)`, cross
+/// EBB `(M, ρ, α)`, scheduler constant Δ, ε, γ.
+pub(crate) type SolverKey = [u64; 11];
+
+#[derive(Default)]
+struct Memo {
+    /// Nesting depth of [`SolverCacheGuard`]s; the cache is consulted
+    /// only while nonzero.
+    depth: u32,
+    map: HashMap<SolverKey, Option<E2eDelayBound>>,
+    hits: u64,
+    misses: u64,
+}
+
+thread_local! {
+    static MEMO: RefCell<Memo> = RefCell::new(Memo::default());
+}
+
+/// Cumulative hit/miss counts of the calling thread's solver cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the solver (while enabled).
+    pub misses: u64,
+}
+
+/// RAII guard holding the solver memo cache open on the current thread;
+/// see [`enable_solver_cache`].
+#[derive(Debug)]
+pub struct SolverCacheGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Enables the solver memo cache on the current thread until the
+/// returned guard is dropped. Guards nest; entries are freed when the
+/// outermost guard drops. Hit/miss statistics accumulate across guard
+/// scopes (see [`solver_cache_stats`]).
+pub fn enable_solver_cache() -> SolverCacheGuard {
+    MEMO.with(|m| m.borrow_mut().depth += 1);
+    SolverCacheGuard { _not_send: std::marker::PhantomData }
+}
+
+impl Drop for SolverCacheGuard {
+    fn drop(&mut self) {
+        MEMO.with(|m| {
+            let mut m = m.borrow_mut();
+            m.depth -= 1;
+            if m.depth == 0 {
+                m.map.clear();
+            }
+        });
+    }
+}
+
+/// Cumulative solver-cache statistics of the current thread.
+pub fn solver_cache_stats() -> SolverCacheStats {
+    MEMO.with(|m| {
+        let m = m.borrow();
+        SolverCacheStats { hits: m.hits, misses: m.misses }
+    })
+}
+
+/// Looks up `key`, or computes, records, and returns the value. With no
+/// guard active, simply runs `compute`.
+pub(crate) fn solve_cached(
+    key: SolverKey,
+    compute: impl FnOnce() -> Option<E2eDelayBound>,
+) -> Option<E2eDelayBound> {
+    enum Probe {
+        Disabled,
+        Hit(Option<E2eDelayBound>),
+        Miss,
+    }
+    let probe = MEMO.with(|m| {
+        let mut m = m.borrow_mut();
+        if m.depth == 0 {
+            return Probe::Disabled;
+        }
+        match m.map.get(&key).cloned() {
+            Some(v) => {
+                m.hits += 1;
+                Probe::Hit(v)
+            }
+            None => {
+                m.misses += 1;
+                Probe::Miss
+            }
+        }
+    });
+    match probe {
+        Probe::Disabled => compute(),
+        Probe::Hit(v) => {
+            tel::counter("core_solver_cache_hits_total", 1);
+            v
+        }
+        Probe::Miss => {
+            tel::counter("core_solver_cache_misses_total", 1);
+            // The borrow is released around `compute`, so nested
+            // delay-bound evaluations (if any) can probe freely.
+            let v = compute();
+            MEMO.with(|m| {
+                let mut m = m.borrow_mut();
+                if m.depth > 0 {
+                    m.map.insert(key, v.clone());
+                }
+            });
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::PathScheduler;
+    use crate::TandemPath;
+    use nc_traffic::Mmoo;
+
+    fn path(sched: PathScheduler) -> TandemPath {
+        let src = Mmoo::paper_source();
+        TandemPath::new(100.0, 5, src.ebb(0.05, 100), src.ebb(0.05, 100), sched)
+    }
+
+    #[test]
+    fn cache_returns_identical_bounds() {
+        let p = path(PathScheduler::Fifo);
+        let plain = p.delay_bound(1e-9).unwrap();
+        let (cached_cold, cached_warm) = {
+            let _guard = enable_solver_cache();
+            (p.delay_bound(1e-9).unwrap(), p.delay_bound(1e-9).unwrap())
+        };
+        assert_eq!(plain, cached_cold, "cold cache must not change the result");
+        assert_eq!(plain, cached_warm, "warm cache must not change the result");
+    }
+
+    #[test]
+    fn repeat_evaluation_hits() {
+        let before = solver_cache_stats();
+        let p = path(PathScheduler::Fifo);
+        let _guard = enable_solver_cache();
+        let _ = p.delay_bound(1e-9);
+        let mid = solver_cache_stats();
+        assert!(mid.misses > before.misses, "first run must populate the cache");
+        let _ = p.delay_bound(1e-9);
+        let after = solver_cache_stats();
+        assert!(
+            after.hits >= mid.hits + (mid.misses - before.misses),
+            "second identical run must be answered from the cache: {after:?} vs {mid:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_cache_records_nothing() {
+        let before = solver_cache_stats();
+        let p = path(PathScheduler::Bmux);
+        let _ = p.delay_bound(1e-6);
+        let after = solver_cache_stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+    }
+
+    #[test]
+    fn entries_are_freed_when_outermost_guard_drops() {
+        let p = path(PathScheduler::Fifo);
+        {
+            let _outer = enable_solver_cache();
+            {
+                let _inner = enable_solver_cache();
+                let _ = p.delay_bound(1e-9);
+            }
+            // Still enabled: the inner guard's entries survive.
+            let before = solver_cache_stats();
+            let _ = p.delay_bound(1e-9);
+            let after = solver_cache_stats();
+            assert!(after.hits > before.hits, "entries must survive the inner guard");
+        }
+        // Fully disabled and cleared: a fresh guard starts cold.
+        let _guard = enable_solver_cache();
+        let before = solver_cache_stats();
+        let _ = p.delay_bound(1e-9);
+        let after = solver_cache_stats();
+        assert!(after.misses > before.misses, "dropped guard must clear entries");
+    }
+}

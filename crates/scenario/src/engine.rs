@@ -1,0 +1,118 @@
+//! The scenario engine: one code path from a parsed [`Scenario`]
+//! through analysis, the optional Monte Carlo overlay, and the
+//! telemetry artifacts.
+
+use crate::artifacts::RunArtifacts;
+use crate::experiments;
+use crate::model::{Experiment, Scenario};
+use crate::opts::RunOpts;
+use nc_core::SolverCacheStats;
+use nc_sim::DelayStats;
+
+/// What a scenario run produced beyond its stdout tables.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Merged delay statistics, for experiments that simulate
+    /// (`simulate`; the figure overlays report inline instead).
+    pub delay_stats: Option<DelayStats>,
+    /// Solver memo-cache activity during this run (hits > 0 whenever
+    /// the experiment revisits an Eq. (38) instance, e.g. any sweep
+    /// with both FIFO and EDF columns).
+    pub cache: SolverCacheStats,
+}
+
+/// Runs a [`Scenario`] under [`RunOpts`]: enables the solver memo
+/// cache for the duration of the run, dispatches to the experiment
+/// runner, and writes the requested telemetry artifacts.
+#[derive(Debug)]
+pub struct Engine {
+    scenario: Scenario,
+    opts: RunOpts,
+}
+
+impl Engine {
+    /// Pairs a scenario with fully resolved run options.
+    pub fn new(scenario: Scenario, opts: RunOpts) -> Self {
+        Engine { scenario, opts }
+    }
+
+    /// The scenario's default options: `sim.reps`/`sim.slots`/`sim.seed`
+    /// from the file, `--json` accepted only by validation scenarios.
+    pub fn default_opts(scenario: &Scenario) -> RunOpts {
+        let mut opts = RunOpts::new(scenario.sim.reps, scenario.sim.slots);
+        if let Some(seed) = scenario.sim.seed {
+            opts.seed = seed;
+        }
+        if matches!(scenario.experiment, Experiment::Validate(_)) {
+            opts = opts.with_json();
+        }
+        opts
+    }
+
+    /// [`Engine::default_opts`] with `std::env::args()` applied on top,
+    /// exiting with usage on a flag error (binary entry point).
+    pub fn opts_from_env(scenario: &Scenario) -> RunOpts {
+        match Self::default_opts(scenario).parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Runs the scenario to completion.
+    ///
+    /// Analysis results are bitwise-independent of the cache, the
+    /// thread count, and the telemetry feature; stdout is therefore
+    /// reproducible byte for byte for a fixed scenario + options.
+    pub fn run(self) -> Result<RunSummary, String> {
+        let artifacts = RunArtifacts::begin(&self.scenario.name, &self.opts);
+        let cache_before = nc_core::solver_cache_stats();
+        let guard = nc_core::enable_solver_cache();
+        if let Some(title) = &self.scenario.title {
+            println!("# {title}");
+        }
+        let delay_stats = match &self.scenario.experiment {
+            Experiment::UtilizationSweep(p) => {
+                experiments::utilization_sweep::run(p, &self.opts);
+                None
+            }
+            Experiment::MixSweep(p) => {
+                experiments::mix_sweep::run(p, &self.opts);
+                None
+            }
+            Experiment::PathSweep(p) => {
+                experiments::path_sweep::run(p, &self.opts);
+                None
+            }
+            Experiment::Validate(p) => {
+                experiments::validate::run(p, &self.opts, &self.scenario.name)?;
+                None
+            }
+            Experiment::Ablation => {
+                experiments::ablation::run(&self.opts);
+                None
+            }
+            Experiment::Bound(p) => {
+                experiments::cli::bound(p)?;
+                None
+            }
+            Experiment::CrossSweep(p) => {
+                experiments::cli::cross_sweep(p);
+                None
+            }
+            Experiment::Simulate(p) => Some(experiments::cli::simulate(p, &self.opts)?),
+        };
+        drop(guard);
+        let cache_after = nc_core::solver_cache_stats();
+        artifacts.finish();
+        Ok(RunSummary {
+            delay_stats,
+            cache: SolverCacheStats {
+                hits: cache_after.hits - cache_before.hits,
+                misses: cache_after.misses - cache_before.misses,
+            },
+        })
+    }
+}

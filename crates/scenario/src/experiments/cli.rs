@@ -1,0 +1,158 @@
+//! The CLI experiments: single bound queries, cross-flow sweeps, and
+//! tandem simulations (the scenario forms of `linksched
+//! bound`/`sweep`/`simulate`).
+
+use crate::model::{Bound, CrossSweep, Simulate};
+use crate::opts::RunOpts;
+use crate::parse_sched;
+use nc_core::MmooTandem;
+use nc_core::PathScheduler;
+use nc_sim::{DelayStats, MonteCarlo, SimConfig, TandemSim};
+use nc_traffic::Mmoo;
+
+pub(crate) fn bound(p: &Bound) -> Result<(), String> {
+    let (sched, _) = parse_sched(&p.sched)?;
+    let t = MmooTandem {
+        source: Mmoo::paper_source(),
+        n_through: p.through,
+        n_cross: p.cross,
+        capacity: p.capacity,
+        hops: p.hops,
+        scheduler: sched,
+    };
+    println!(
+        "H = {}, C = {} Mbps, N0 = {}, Nc = {} (U = {:.1}%), scheduler {}",
+        p.hops,
+        p.capacity,
+        p.through,
+        p.cross,
+        t.utilization() * 100.0,
+        sched
+    );
+    match t.delay_bound(p.epsilon) {
+        Some(b) => {
+            println!(
+                "P(W > {:.3} ms) < {:.0e}   [s = {:.4}, γ = {:.4}, σ = {:.1} kb]",
+                b.bound.delay, p.epsilon, b.s, b.bound.gamma, b.bound.sigma
+            );
+            if let Some(l) = p.packet {
+                let corrected =
+                    nc_core::packetized_delay_bound(b.bound.delay, l, p.capacity, p.hops);
+                println!(
+                    "non-preemptive packets of {l} kb: P(W > {corrected:.3} ms) < {:.0e}",
+                    p.epsilon
+                );
+            }
+            Ok(())
+        }
+        None => Err("unstable: no finite delay bound at this load".to_string()),
+    }
+}
+
+pub(crate) fn cross_sweep(p: &CrossSweep) {
+    println!(
+        "# delay bounds [ms] vs cross flows (H = {}, N0 = {}, eps = {:.0e})",
+        p.hops, p.through, p.epsilon
+    );
+    println!("{:>6} {:>7} {:>10} {:>10} {:>10}", "Nc", "U[%]", "BMUX", "FIFO", "SP");
+    let steps = 10usize;
+    for i in 1..=steps {
+        let nc = p.cross_max * i / steps;
+        let mk = |s: PathScheduler| {
+            MmooTandem {
+                source: Mmoo::paper_source(),
+                n_through: p.through,
+                n_cross: nc,
+                capacity: p.capacity,
+                hops: p.hops,
+                scheduler: s,
+            }
+            .delay_bound(p.epsilon)
+            .map(|b| format!("{:10.2}", b.bound.delay))
+            .unwrap_or_else(|| format!("{:>10}", "-"))
+        };
+        let u = (p.through + nc) as f64 * Mmoo::paper_source().mean_rate() / p.capacity;
+        println!(
+            "{nc:>6} {:>7.1} {} {} {}",
+            u * 100.0,
+            mk(PathScheduler::Bmux),
+            mk(PathScheduler::Fifo),
+            mk(PathScheduler::ThroughPriority)
+        );
+    }
+}
+
+pub(crate) fn simulate(p: &Simulate, opts: &RunOpts) -> Result<DelayStats, String> {
+    let (_, sim_sched) = parse_sched(&p.sched)?;
+    let cfg = SimConfig {
+        capacity: p.capacity,
+        hops: p.hops,
+        n_through: p.through,
+        n_cross: p.cross,
+        source: Mmoo::paper_source(),
+        scheduler: sim_sched,
+        warmup: (opts.slots / 100).max(1_000),
+        packet_size: p.packet,
+    };
+    let capacity_note = match &p.capacities {
+        Some(caps) => format!(
+            "C = [{}] Mbps",
+            caps.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ")
+        ),
+        None => format!("C = {} Mbps", p.capacity),
+    };
+    println!(
+        "simulating {} slots: H = {}, {capacity_note}, N0 = {}, Nc = {}, {:?}{}{}",
+        opts.slots,
+        p.hops,
+        p.through,
+        p.cross,
+        sim_sched,
+        p.packet.map(|l| format!(", packets of {l} kb")).unwrap_or_default(),
+        if opts.reps > 1 { format!(", {} reps", opts.reps) } else { String::new() }
+    );
+    let mut stats = if opts.reps > 1 {
+        // Replicated run through the Monte Carlo engine: per-rep seeds
+        // derive from the master seed, and the merge is
+        // bitwise-identical for every thread count.
+        let mc = MonteCarlo::new(opts.reps, opts.slots, opts.seed)
+            .threads(opts.threads)
+            .progress(opts.progress)
+            .collect_metrics(opts.wants_metrics());
+        let report = match &p.capacities {
+            None => mc.run(cfg),
+            Some(caps) => {
+                mc.run_with(|_, seed| TandemSim::with_capacities(cfg, caps, seed).run(opts.slots))
+            }
+        };
+        nc_telemetry::merge_global(&report.metrics);
+        report.merged
+    } else {
+        // Single replication: the seed is used directly, matching the
+        // historical `linksched simulate` behaviour.
+        let mut sim = match &p.capacities {
+            None => TandemSim::new(cfg, opts.seed),
+            Some(caps) => TandemSim::with_capacities(cfg, caps, opts.seed),
+        };
+        if opts.wants_metrics() {
+            sim.enable_telemetry();
+        }
+        let stats = sim.run(opts.slots);
+        if opts.wants_metrics() {
+            nc_telemetry::merge_global(&sim.metrics());
+        }
+        stats
+    };
+    if stats.is_empty() {
+        return Err("no samples recorded (all within warm-up?)".to_string());
+    }
+    println!("samples: {}", stats.len());
+    println!("mean:    {:>8.2} ms", stats.mean().unwrap_or(f64::NAN));
+    for q in [0.5, 0.9, 0.99, 0.999, 0.9999] {
+        if let Some(v) = stats.quantile(q) {
+            println!("q{:<6} {:>8.2} ms", format!("{:.4}", q), v);
+        }
+    }
+    println!("max:     {:>8.2} ms", stats.max().unwrap_or(f64::NAN));
+    Ok(stats)
+}

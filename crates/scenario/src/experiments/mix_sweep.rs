@@ -1,0 +1,75 @@
+//! Delay bounds vs. traffic mix `U_c/U` at constant total utilization
+//! (the paper's Fig. 3, Example 2), with EDF evaluated in both
+//! deadline regimes of the example.
+
+use crate::model::MixSweep;
+use crate::opts::RunOpts;
+use crate::{flows_for_utilization, fmt, sim_overlay, tandem, OVERLAY_EPS};
+use nc_core::PathScheduler;
+
+pub(crate) fn run(p: &MixSweep, opts: &RunOpts) {
+    let n_total = flows_for_utilization(p.u_total);
+    println!("# N_total = {n_total}, eps = {:.0e}", p.epsilon);
+    if opts.sim {
+        println!(
+            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
+            opts.reps, opts.slots, opts.seed
+        );
+    }
+    for &hops in &p.hops {
+        println!("\n## H = {hops}");
+        println!(
+            "{:>6} {:>6} {:>6} {:>10} {:>10} {:>12} {:>12}{}",
+            "Uc/U",
+            "N0",
+            "Nc",
+            "BMUX",
+            "FIFO",
+            "EDF(d0<dc)",
+            "EDF(d0>dc)",
+            if opts.sim { "  simFIFO q [spread]" } else { "" }
+        );
+        for mix_pct in (p.mix_start..=p.mix_stop).step_by(p.mix_step) {
+            let mix = mix_pct as f64 / 100.0;
+            let n_cross = ((n_total as f64) * mix).round() as usize;
+            let n_through = n_total - n_cross;
+            if n_through == 0 || n_cross == 0 {
+                continue;
+            }
+            let bmux = tandem(n_through, n_cross, hops, PathScheduler::Bmux)
+                .delay_bound(p.epsilon)
+                .map(|b| b.bound.delay);
+            let fifo = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
+                .delay_bound(p.epsilon)
+                .map(|b| b.bound.delay);
+            // e.g. d*_0 = d*_c / 2 ⇔ cross deadlines twice the through
+            // ones (ratio 2).
+            let edf_short = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
+                .edf_delay_bound_fixed_point(p.epsilon, p.edf_ratio_short)
+                .map(|(b, _)| b.bound.delay);
+            // e.g. d*_0 = 2 d*_c ⇔ cross deadlines half the through ones
+            // (ratio 1/2).
+            let edf_long = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
+                .edf_delay_bound_fixed_point(p.epsilon, p.edf_ratio_long)
+                .map(|(b, _)| b.bound.delay);
+            let edf_short = fmt(edf_short);
+            let edf_long = fmt(edf_long);
+            let overlay = if opts.sim {
+                format!("  {}", sim_overlay(opts, n_through, n_cross, hops))
+            } else {
+                String::new()
+            };
+            println!(
+                "{:>6.2} {:>6} {:>6} {} {} {:>12} {:>12}{}",
+                mix,
+                n_through,
+                n_cross,
+                fmt(bmux),
+                fmt(fifo),
+                edf_short.trim(),
+                edf_long.trim(),
+                overlay,
+            );
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment runners, one per [`crate::Experiment`] variant. Each
+//! prints the same table its pre-scenario binary printed, byte for
+//! byte (pinned by the golden tests in `nc-bench`).
+
+pub(crate) mod ablation;
+pub(crate) mod cli;
+pub(crate) mod mix_sweep;
+pub(crate) mod path_sweep;
+pub(crate) mod utilization_sweep;
+pub(crate) mod validate;

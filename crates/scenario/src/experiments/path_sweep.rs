@@ -1,0 +1,58 @@
+//! Delay bounds vs. path length `H` with `N_0 = N_c` (the paper's
+//! Fig. 4, Example 3), including the additive node-by-node BMUX
+//! baseline.
+
+use crate::model::PathSweep;
+use crate::opts::RunOpts;
+use crate::{flows_for_utilization, fmt, sim_overlay, tandem, OVERLAY_EPS};
+use nc_core::PathScheduler;
+
+pub(crate) fn run(p: &PathSweep, opts: &RunOpts) {
+    println!("# eps = {:.0e}, EDF: d*_0 = d/H, d*_c = {} d/H", p.epsilon, p.edf_cross_ratio);
+    if opts.sim {
+        println!(
+            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
+            opts.reps, opts.slots, opts.seed
+        );
+    }
+    for &u in &p.utilizations {
+        let n_half = flows_for_utilization(u) / 2;
+        println!("\n## U = {:.0}% (N0 = Nc = {n_half})", u * 100.0);
+        println!(
+            "{:>4} {:>12} {:>10} {:>10} {:>10}{}",
+            "H",
+            "BMUX-add",
+            "BMUX",
+            "FIFO",
+            "EDF",
+            if opts.sim { "  simFIFO q [spread]" } else { "" }
+        );
+        for &hops in &p.hops {
+            let additive =
+                tandem(n_half, n_half, hops, PathScheduler::Bmux).additive_bmux_delay(p.epsilon);
+            let bmux = tandem(n_half, n_half, hops, PathScheduler::Bmux)
+                .delay_bound(p.epsilon)
+                .map(|b| b.bound.delay);
+            let fifo = tandem(n_half, n_half, hops, PathScheduler::Fifo)
+                .delay_bound(p.epsilon)
+                .map(|b| b.bound.delay);
+            let edf = tandem(n_half, n_half, hops, PathScheduler::Fifo)
+                .edf_delay_bound_fixed_point(p.epsilon, p.edf_cross_ratio)
+                .map(|(b, _)| b.bound.delay);
+            let overlay = if opts.sim {
+                format!("  {}", sim_overlay(opts, n_half, n_half, hops))
+            } else {
+                String::new()
+            };
+            println!(
+                "{:>4} {:>12} {} {} {}{}",
+                hops,
+                fmt(additive).trim_start(),
+                fmt(bmux),
+                fmt(fifo),
+                fmt(edf),
+                overlay
+            );
+        }
+    }
+}

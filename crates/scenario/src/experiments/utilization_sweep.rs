@@ -1,0 +1,72 @@
+//! Delay bounds vs. total utilization (the paper's Fig. 2, Example 1):
+//! `U_0` held constant, total utilization swept over a grid, one table
+//! section per path length, with BMUX/FIFO/EDF columns and the
+//! FIFO/BMUX ratio.
+
+use crate::model::UtilizationSweep;
+use crate::opts::RunOpts;
+use crate::{flows_for_utilization, fmt, sim_overlay, tandem, OVERLAY_EPS};
+use nc_core::PathScheduler;
+
+pub(crate) fn run(p: &UtilizationSweep, opts: &RunOpts) {
+    let n_through = flows_for_utilization(p.u_through);
+    println!(
+        "# N0 = {n_through} (U0 = {:.0}%), eps = {:.0e}, EDF: d*_0 = d/H, d*_c = {} d/H",
+        p.u_through * 100.0,
+        p.epsilon,
+        p.edf_cross_ratio
+    );
+    if opts.sim {
+        println!(
+            "# overlay: simulated FIFO q(1-{OVERLAY_EPS:.0e}), {} reps x {} slots, seed {:#x}",
+            opts.reps, opts.slots, opts.seed
+        );
+    }
+    for &hops in &p.hops {
+        println!("\n## H = {hops}");
+        println!(
+            "{:>6} {:>6} {:>10} {:>10} {:>10} {:>12}{}",
+            "U[%]",
+            "Nc",
+            "BMUX",
+            "FIFO",
+            "EDF",
+            "FIFO/BMUX",
+            if opts.sim { "  simFIFO q [spread]" } else { "" }
+        );
+        let mut u = p.u_start;
+        while u <= p.u_stop {
+            let n_total = flows_for_utilization(u);
+            let n_cross = n_total.saturating_sub(n_through);
+            let bmux = tandem(n_through, n_cross, hops, PathScheduler::Bmux)
+                .delay_bound(p.epsilon)
+                .map(|b| b.bound.delay);
+            let fifo = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
+                .delay_bound(p.epsilon)
+                .map(|b| b.bound.delay);
+            let edf = tandem(n_through, n_cross, hops, PathScheduler::Fifo)
+                .edf_delay_bound_fixed_point(p.epsilon, p.edf_cross_ratio)
+                .map(|(b, _)| b.bound.delay);
+            let ratio = match (fifo, bmux) {
+                (Some(f), Some(b)) => format!("{:12.4}", f / b),
+                _ => format!("{:>12}", "-"),
+            };
+            let overlay = if opts.sim {
+                format!("  {}", sim_overlay(opts, n_through, n_cross, hops))
+            } else {
+                String::new()
+            };
+            println!(
+                "{:>6.0} {:>6} {} {} {} {}{}",
+                u * 100.0,
+                n_cross,
+                fmt(bmux),
+                fmt(fifo),
+                fmt(edf),
+                ratio,
+                overlay
+            );
+            u += p.u_step;
+        }
+    }
+}

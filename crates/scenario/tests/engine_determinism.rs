@@ -1,0 +1,48 @@
+//! The engine invariant behind every figure overlay: running the same
+//! scenario with the same seed must produce bitwise-identical merged
+//! delay statistics regardless of how many worker threads the Monte
+//! Carlo engine fans the replications across.
+
+use nc_scenario::{Engine, Scenario};
+use nc_sim::DelayStats;
+
+const SCENARIO: &str = r#"{
+  "name": "determinism-probe",
+  "experiment": "simulate",
+  "params": {
+    "hops": 2,
+    "through": 30,
+    "cross": 50,
+    "capacity": 15.0,
+    "sched": "edf:10,40"
+  },
+  "sim": {"reps": 8, "slots": 6000, "seed": 99}
+}"#;
+
+fn run_with_threads(threads: usize) -> DelayStats {
+    let scenario = Scenario::from_json(SCENARIO).expect("probe scenario parses");
+    let mut opts = Engine::default_opts(&scenario);
+    opts.threads = threads;
+    let summary = Engine::new(scenario, opts).run().expect("engine run succeeds");
+    summary.delay_stats.expect("simulate experiments return merged stats")
+}
+
+#[test]
+fn merged_stats_are_bitwise_identical_across_thread_counts() {
+    let reference = run_with_threads(1);
+    assert!(!reference.is_empty(), "probe scenario must record samples");
+    for threads in [2, 8] {
+        let other = run_with_threads(threads);
+        assert_eq!(
+            reference.len(),
+            other.len(),
+            "sample count changed between 1 and {threads} threads"
+        );
+        let same = reference
+            .samples()
+            .iter()
+            .zip(other.samples())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "delay samples are not bitwise identical at {threads} threads");
+    }
+}

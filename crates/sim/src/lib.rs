@@ -46,6 +46,7 @@
 mod montecarlo;
 mod node;
 mod scheduler;
+mod schedulers;
 mod source;
 mod stats;
 mod tandem;

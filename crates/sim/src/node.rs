@@ -1,5 +1,6 @@
 //! A single scheduled link (node) in the slotted simulator.
 
+use crate::schedulers::{Scheduler, SchedulerImpl};
 use std::collections::VecDeque;
 
 /// A unit of fluid traffic moving through the network.
@@ -48,7 +49,8 @@ pub enum NodePolicy {
 }
 
 impl NodePolicy {
-    fn classes(&self) -> Option<usize> {
+    /// Length of the per-class parameter vector, if the policy has one.
+    pub(crate) fn param_len(&self) -> Option<usize> {
         match self {
             NodePolicy::Fifo => None,
             NodePolicy::StaticPriority(v) => Some(v.len()),
@@ -58,19 +60,33 @@ impl NodePolicy {
         }
     }
 
-    /// The precedence key of a chunk: chunks are served in increasing
-    /// key order (for non-GPS policies). Within a class the key is
-    /// non-decreasing in arrival time, which keeps per-class queues
-    /// sorted — the locally-FIFO property of Δ-schedulers.
-    fn key(&self, class: usize, node_arrival: u64) -> (f64, u64, usize) {
+    /// Checks the numeric policy parameters: EDF deadlines must be
+    /// finite and non-negative, GPS/SCFQ weights positive and finite.
+    /// A NaN or infinite parameter would otherwise sit inside every
+    /// precedence comparison of the serve path.
+    pub fn validate(&self) -> Result<(), String> {
         match self {
-            NodePolicy::Fifo => (node_arrival as f64, node_arrival, class),
-            NodePolicy::StaticPriority(levels) => (levels[class] as f64, node_arrival, class),
+            NodePolicy::Fifo | NodePolicy::StaticPriority(_) => Ok(()),
             NodePolicy::Edf(deadlines) => {
-                (node_arrival as f64 + deadlines[class], node_arrival, class)
+                if deadlines.iter().all(|&d| d.is_finite() && d >= 0.0) {
+                    Ok(())
+                } else {
+                    Err("EDF deadlines must be finite and non-negative".to_string())
+                }
             }
-            NodePolicy::Gps(_) | NodePolicy::Scfq(_) => {
-                unreachable!("GPS/SCFQ do not use static precedence keys")
+            NodePolicy::Gps(weights) => {
+                if weights.iter().all(|&w| w > 0.0 && w.is_finite()) {
+                    Ok(())
+                } else {
+                    Err("GPS weights must be positive and finite".to_string())
+                }
+            }
+            NodePolicy::Scfq(weights) => {
+                if weights.iter().all(|&w| w > 0.0 && w.is_finite()) {
+                    Ok(())
+                } else {
+                    Err("SCFQ weights must be positive and finite".to_string())
+                }
             }
         }
     }
@@ -114,6 +130,62 @@ pub struct NodeCounters {
     pub deadline_misses: u64,
 }
 
+/// Policy-independent node state shared with the scheduler impls:
+/// capacity, per-class queues, the chunk on the wire, and telemetry
+/// counters.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeCore {
+    pub(crate) capacity: f64,
+    pub(crate) queues: Vec<VecDeque<Chunk>>,
+    /// The chunk currently on the wire in non-preemptive mode, with its
+    /// original size (reported on completion, since the whole chunk
+    /// departs at once).
+    pub(crate) in_service: Option<(Chunk, f64)>,
+    /// Telemetry event counters (all-zero in uninstrumented builds).
+    pub(crate) counters: NodeCounters,
+}
+
+impl NodeCore {
+    /// Telemetry bookkeeping for a chunk whose last bit departed at
+    /// `slot`, with EDF deadlines when the policy has them; erased from
+    /// uninstrumented builds.
+    #[inline]
+    pub(crate) fn note_completion(&mut self, deadlines: Option<&[f64]>, c: &Chunk, slot: u64) {
+        if cfg!(feature = "telemetry") {
+            self.counters.completed_chunks += 1;
+            if let Some(ds) = deadlines {
+                if (slot.saturating_sub(c.node_arrival)) as f64 > ds[c.class] {
+                    self.counters.deadline_misses += 1;
+                }
+            }
+        }
+    }
+
+    /// Telemetry bookkeeping for a completion with no deadline to check.
+    #[inline]
+    pub(crate) fn note_chunk_completed(&mut self) {
+        if cfg!(feature = "telemetry") {
+            self.counters.completed_chunks += 1;
+        }
+    }
+
+    /// Telemetry bookkeeping for one head-of-line scheduling decision.
+    #[inline]
+    pub(crate) fn note_decision(&mut self) {
+        if cfg!(feature = "telemetry") {
+            self.counters.decisions += 1;
+        }
+    }
+
+    /// Telemetry bookkeeping for a chunk split (fragment departure).
+    #[inline]
+    pub(crate) fn note_split(&mut self) {
+        if cfg!(feature = "telemetry") {
+            self.counters.chunk_splits += 1;
+        }
+    }
+}
+
 /// A work-conserving link of fixed per-slot capacity with per-class
 /// queues and a [`NodePolicy`].
 ///
@@ -126,30 +198,17 @@ pub struct NodeCounters {
 /// let mut node = Node::new(10.0, NodePolicy::Fifo, 2);
 /// node.enqueue(Chunk { class: 0, bits: 4.0, entry: 0, node_arrival: 0 });
 /// node.enqueue(Chunk { class: 1, bits: 8.0, entry: 0, node_arrival: 0 });
-/// let out = node.serve_slot(0);
+/// let mut out = Vec::new();
+/// node.serve_slot(0, &mut out);
 /// // 10 units of capacity: the through chunk and half the cross chunk.
 /// assert_eq!(out.len(), 2);
 /// assert!(node.backlog() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Node {
-    capacity: f64,
-    policy: NodePolicy,
-    queues: Vec<VecDeque<Chunk>>,
+    core: NodeCore,
     mode: ServiceMode,
-    /// The chunk currently on the wire in non-preemptive mode, with its
-    /// remaining bits; `.1` is the original size (reported on
-    /// completion, since the whole chunk departs at once).
-    in_service: Option<(Chunk, f64)>,
-    /// SCFQ virtual-finish tags, aligned with `queues`.
-    tags: Vec<VecDeque<f64>>,
-    /// SCFQ per-class last assigned finish tag.
-    last_finish: Vec<f64>,
-    /// SCFQ virtual time: the tag of the chunk most recently selected
-    /// for service.
-    vtime: f64,
-    /// Telemetry event counters (all-zero in uninstrumented builds).
-    counters: NodeCounters,
+    sched: SchedulerImpl,
 }
 
 impl Node {
@@ -159,8 +218,8 @@ impl Node {
     /// # Panics
     ///
     /// Panics if `capacity` is not positive/finite, `classes` is zero,
-    /// or the policy's per-class parameter length differs from
-    /// `classes`.
+    /// the policy's per-class parameter length differs from `classes`,
+    /// or the policy's parameters fail [`NodePolicy::validate`].
     pub fn new(capacity: f64, policy: NodePolicy, classes: usize) -> Self {
         Self::with_mode(capacity, policy, classes, ServiceMode::Fluid)
     }
@@ -175,62 +234,47 @@ impl Node {
     pub fn with_mode(capacity: f64, policy: NodePolicy, classes: usize, mode: ServiceMode) -> Self {
         assert!(capacity > 0.0 && capacity.is_finite(), "Node: capacity must be positive");
         assert!(classes > 0, "Node: need at least one class");
-        if let Some(n) = policy.classes() {
-            assert_eq!(n, classes, "Node: policy parameters must cover every class");
-        }
-        if mode == ServiceMode::NonPreemptive {
-            assert!(
-                !matches!(policy, NodePolicy::Gps(_)),
-                "Node: non-preemptive GPS (packetized WFQ) is not modelled; use Scfq"
-            );
-        }
-        if let NodePolicy::Scfq(w) = &policy {
-            assert!(
-                w.iter().all(|&x| x > 0.0 && x.is_finite()),
-                "Node: SCFQ weights must be positive and finite"
-            );
-        }
+        let sched = SchedulerImpl::new(&policy, classes, mode);
         Node {
-            capacity,
-            policy,
-            queues: vec![VecDeque::new(); classes],
+            core: NodeCore {
+                capacity,
+                queues: vec![VecDeque::new(); classes],
+                in_service: None,
+                counters: NodeCounters::default(),
+            },
             mode,
-            in_service: None,
-            tags: vec![VecDeque::new(); classes],
-            last_finish: vec![0.0; classes],
-            vtime: 0.0,
-            counters: NodeCounters::default(),
+            sched,
         }
     }
 
     /// Per-slot capacity.
     pub fn capacity(&self) -> f64 {
-        self.capacity
+        self.core.capacity
     }
 
     /// Number of traffic classes.
     pub fn classes(&self) -> usize {
-        self.queues.len()
+        self.core.queues.len()
     }
 
     /// Telemetry event counters accumulated so far.
     pub fn counters(&self) -> NodeCounters {
-        self.counters
+        self.core.counters
     }
 
     /// Number of queued chunks, including one on the wire in
     /// non-preemptive mode. `O(classes)`, so cheap enough to sample
     /// every slot.
     pub fn queue_len(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum::<usize>()
-            + usize::from(self.in_service.is_some())
+        self.core.queues.iter().map(VecDeque::len).sum::<usize>()
+            + usize::from(self.core.in_service.is_some())
     }
 
     /// Total backlogged data across classes (including a partially
     /// transmitted chunk in non-preemptive mode).
     pub fn backlog(&self) -> f64 {
-        self.queues.iter().flatten().map(|c| c.bits).sum::<f64>()
-            + self.in_service.map_or(0.0, |(c, _)| c.bits)
+        self.core.queues.iter().flatten().map(|c| c.bits).sum::<f64>()
+            + self.core.in_service.map_or(0.0, |(c, _)| c.bits)
     }
 
     /// Backlogged data of one class.
@@ -239,8 +283,8 @@ impl Node {
     ///
     /// Panics if `class` is out of range.
     pub fn class_backlog(&self, class: usize) -> f64 {
-        self.queues[class].iter().map(|c| c.bits).sum::<f64>()
-            + self.in_service.filter(|(c, _)| c.class == class).map_or(0.0, |(c, _)| c.bits)
+        self.core.queues[class].iter().map(|c| c.bits).sum::<f64>()
+            + self.core.in_service.filter(|(c, _)| c.class == class).map_or(0.0, |(c, _)| c.bits)
     }
 
     /// Adds a chunk to its class queue. For SCFQ, the virtual finish
@@ -251,289 +295,29 @@ impl Node {
     /// Panics if the chunk's class is out of range or its size is not
     /// positive/finite.
     pub fn enqueue(&mut self, chunk: Chunk) {
-        assert!(chunk.class < self.queues.len(), "enqueue: class out of range");
+        assert!(chunk.class < self.core.queues.len(), "enqueue: class out of range");
         assert!(chunk.bits > 0.0 && chunk.bits.is_finite(), "enqueue: bits must be positive");
-        if let NodePolicy::Scfq(weights) = &self.policy {
-            let start = self.vtime.max(self.last_finish[chunk.class]);
-            let finish = start + chunk.bits / weights[chunk.class];
-            self.last_finish[chunk.class] = finish;
-            self.tags[chunk.class].push_back(finish);
-        }
-        self.queues[chunk.class].push_back(chunk);
+        self.sched.on_enqueue(&chunk);
+        self.core.queues[chunk.class].push_back(chunk);
     }
 
-    /// Serves one slot's worth of capacity and returns the chunks (or
-    /// chunk fragments) that depart during this slot, in service order.
-    pub fn serve_slot(&mut self, slot: u64) -> Vec<Chunk> {
-        match (&self.policy, self.mode) {
-            (NodePolicy::Gps(weights), _) => {
-                let weights = weights.clone();
-                self.serve_gps(&weights)
-            }
-            (NodePolicy::Scfq(_), ServiceMode::Fluid) => self.serve_scfq_fluid(),
-            (NodePolicy::Scfq(_), ServiceMode::NonPreemptive) => self.serve_scfq_nonpreemptive(),
-            (_, ServiceMode::Fluid) => self.serve_ordered(slot),
-            (_, ServiceMode::NonPreemptive) => self.serve_nonpreemptive(slot),
-        }
+    /// Serves one slot's worth of capacity, appending the chunks (or
+    /// chunk fragments) that depart during this slot to `out` in
+    /// service order.
+    ///
+    /// `out` is **not** cleared — the caller owns (and typically
+    /// reuses) the buffer, so a steady-state slot allocates nothing.
+    pub fn serve_slot(&mut self, slot: u64, out: &mut Vec<Chunk>) {
+        self.sched.serve(&mut self.core, self.mode, slot, out);
     }
 
-    /// Telemetry bookkeeping for a chunk whose last bit departed at
-    /// `slot`; erased from uninstrumented builds.
-    #[inline]
-    fn note_completion(&mut self, c: &Chunk, slot: u64) {
-        if cfg!(feature = "telemetry") {
-            self.counters.completed_chunks += 1;
-            if let NodePolicy::Edf(deadlines) = &self.policy {
-                if (slot.saturating_sub(c.node_arrival)) as f64 > deadlines[c.class] {
-                    self.counters.deadline_misses += 1;
-                }
-            }
-        }
-    }
-
-    /// Telemetry bookkeeping for one head-of-line scheduling decision.
-    #[inline]
-    fn note_decision(&mut self) {
-        if cfg!(feature = "telemetry") {
-            self.counters.decisions += 1;
-        }
-    }
-
-    /// Telemetry bookkeeping for a chunk split (fragment departure).
-    #[inline]
-    fn note_split(&mut self) {
-        if cfg!(feature = "telemetry") {
-            self.counters.chunk_splits += 1;
-        }
-    }
-
-    /// The class whose head chunk has the smallest SCFQ tag.
-    fn scfq_best_class(&self) -> Option<usize> {
-        let mut best: Option<(usize, f64)> = None;
-        for (class, tags) in self.tags.iter().enumerate() {
-            if let Some(&tag) = tags.front() {
-                if best.map(|(_, bt)| tag < bt).unwrap_or(true) {
-                    best = Some((class, tag));
-                }
-            }
-        }
-        best.map(|(c, _)| c)
-    }
-
-    /// SCFQ with preemptible (fluid) service: serve in tag order,
-    /// splitting at the slot budget.
-    fn serve_scfq_fluid(&mut self) -> Vec<Chunk> {
-        let mut budget = self.capacity;
+    /// Convenience wrapper around [`Node::serve_slot`] returning a fresh
+    /// vector — fine for tests and examples; hot paths should reuse a
+    /// buffer via [`Node::serve_slot`].
+    pub fn serve_slot_vec(&mut self, slot: u64) -> Vec<Chunk> {
         let mut out = Vec::new();
-        while budget > 1e-12 {
-            let Some(class) = self.scfq_best_class() else { break };
-            self.note_decision();
-            self.vtime = *self.tags[class].front().expect("tag for head chunk");
-            let head = self.queues[class].front_mut().expect("chunk for tag");
-            if head.bits <= budget {
-                budget -= head.bits;
-                let done = self.queues[class].pop_front().expect("head exists");
-                self.tags[class].pop_front();
-                if cfg!(feature = "telemetry") {
-                    self.counters.completed_chunks += 1;
-                }
-                out.push(done);
-            } else {
-                let mut served = *head;
-                served.bits = budget;
-                head.bits -= budget;
-                budget = 0.0;
-                self.note_split();
-                out.push(served);
-            }
-        }
-        // When the node drains completely, reset the virtual clock so
-        // tags do not grow without bound across busy periods.
-        if self.queues.iter().all(VecDeque::is_empty) {
-            self.vtime = 0.0;
-            self.last_finish.iter_mut().for_each(|f| *f = 0.0);
-        }
+        self.serve_slot(slot, &mut out);
         out
-    }
-
-    /// SCFQ with non-preemptive service (the classical packet form).
-    fn serve_scfq_nonpreemptive(&mut self) -> Vec<Chunk> {
-        let mut budget = self.capacity;
-        let mut out = Vec::new();
-        while budget > 1e-12 {
-            if self.in_service.is_none() {
-                let Some(class) = self.scfq_best_class() else { break };
-                self.note_decision();
-                self.vtime = self.tags[class].pop_front().expect("tag for head chunk");
-                let chunk = self.queues[class].pop_front().expect("chunk for tag");
-                let original = chunk.bits;
-                self.in_service = Some((chunk, original));
-            }
-            let (cur, _) = self.in_service.as_mut().expect("chunk selected above");
-            let served = cur.bits.min(budget);
-            cur.bits -= served;
-            budget -= served;
-            if cur.bits <= 1e-12 {
-                let (mut done, size) = self.in_service.take().expect("current chunk");
-                done.bits = size;
-                if cfg!(feature = "telemetry") {
-                    self.counters.completed_chunks += 1;
-                }
-                out.push(done);
-            }
-        }
-        if self.in_service.is_none() && self.queues.iter().all(VecDeque::is_empty) {
-            self.vtime = 0.0;
-            self.last_finish.iter_mut().for_each(|f| *f = 0.0);
-        }
-        out
-    }
-
-    /// Non-preemptive service: finish the chunk on the wire before
-    /// consulting the precedence order again; completed chunks depart
-    /// whole (no fragments).
-    fn serve_nonpreemptive(&mut self, slot: u64) -> Vec<Chunk> {
-        let mut budget = self.capacity;
-        let mut out = Vec::new();
-        while budget > 1e-12 {
-            if self.in_service.is_none() {
-                // Pick the next chunk by precedence key.
-                let mut best: Option<(usize, (f64, u64, usize))> = None;
-                for (class, q) in self.queues.iter().enumerate() {
-                    if let Some(head) = q.front() {
-                        let key = self.policy.key(class, head.node_arrival);
-                        if best
-                            .map(|(_, bk)| {
-                                key.0 < bk.0 || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2))
-                            })
-                            .unwrap_or(true)
-                        {
-                            best = Some((class, key));
-                        }
-                    }
-                }
-                let Some((class, _)) = best else { break };
-                self.note_decision();
-                let chunk = self.queues[class].pop_front().expect("head exists");
-                let original = chunk.bits;
-                self.in_service = Some((chunk, original));
-            }
-            let (cur, original) = self.in_service.as_mut().expect("chunk selected above");
-            let served = cur.bits.min(budget);
-            cur.bits -= served;
-            budget -= served;
-            if cur.bits <= 1e-12 {
-                let (mut done, size) = self.in_service.take().expect("current chunk");
-                // The whole chunk departs at completion time with its
-                // original size (non-preemptive last-bit semantics).
-                done.bits = size;
-                self.note_completion(&done, slot);
-                out.push(done);
-            } else {
-                let _ = original; // budget exhausted mid-chunk; stays on the wire
-            }
-        }
-        out
-    }
-
-    /// Serves in global precedence-key order by repeatedly draining the
-    /// class whose head chunk has the smallest key (per-class queues are
-    /// key-sorted because Δ-schedulers are locally FIFO).
-    fn serve_ordered(&mut self, slot: u64) -> Vec<Chunk> {
-        let mut budget = self.capacity;
-        let mut out = Vec::new();
-        while budget > 1e-12 {
-            // Find the class whose head has the smallest key.
-            let mut best: Option<(usize, (f64, u64, usize))> = None;
-            for (class, q) in self.queues.iter().enumerate() {
-                if let Some(head) = q.front() {
-                    let key = self.policy.key(class, head.node_arrival);
-                    if best
-                        .map(|(_, bk)| {
-                            key.0 < bk.0 || (key.0 == bk.0 && (key.1, key.2) < (bk.1, bk.2))
-                        })
-                        .unwrap_or(true)
-                    {
-                        best = Some((class, key));
-                    }
-                }
-            }
-            let Some((class, _)) = best else { break };
-            self.note_decision();
-            let head = self.queues[class].front_mut().expect("class with a head chunk");
-            if head.bits <= budget {
-                budget -= head.bits;
-                let done = self.queues[class].pop_front().expect("head exists");
-                self.note_completion(&done, slot);
-                out.push(done);
-            } else {
-                let mut served = *head;
-                served.bits = budget;
-                head.bits -= budget;
-                budget = 0.0;
-                self.note_split();
-                out.push(served);
-            }
-        }
-        out
-    }
-
-    /// GPS fluid service: water-filling of the slot capacity across
-    /// backlogged classes in proportion to their weights.
-    fn serve_gps(&mut self, weights: &[f64]) -> Vec<Chunk> {
-        let mut budget = self.capacity;
-        let mut out = Vec::new();
-        // Iterate: distribute the remaining budget among still-backlogged
-        // classes; classes that empty return their surplus.
-        loop {
-            let active: Vec<usize> =
-                (0..self.queues.len()).filter(|&c| !self.queues[c].is_empty()).collect();
-            if active.is_empty() || budget <= 1e-12 {
-                break;
-            }
-            let wsum: f64 = active.iter().map(|&c| weights[c]).sum();
-            self.note_decision(); // one water-filling round
-            let mut consumed_any = false;
-            for &c in &active {
-                let share = budget * weights[c] / wsum;
-                let served = self.drain_class(c, share, &mut out);
-                if served > 1e-15 {
-                    consumed_any = true;
-                }
-            }
-            // Recompute the budget from what was actually served.
-            let total_served: f64 = out.iter().map(|ch| ch.bits).sum();
-            budget = self.capacity - total_served;
-            if !consumed_any {
-                break;
-            }
-        }
-        out
-    }
-
-    /// Serves up to `amount` from class `c` in FIFO order; returns the
-    /// amount actually served.
-    fn drain_class(&mut self, c: usize, amount: f64, out: &mut Vec<Chunk>) -> f64 {
-        let mut left = amount;
-        while left > 1e-12 {
-            let Some(head) = self.queues[c].front_mut() else { break };
-            if head.bits <= left {
-                left -= head.bits;
-                let done = self.queues[c].pop_front().expect("head exists");
-                if cfg!(feature = "telemetry") {
-                    self.counters.completed_chunks += 1;
-                }
-                out.push(done);
-            } else {
-                let mut served = *head;
-                served.bits = left;
-                head.bits -= left;
-                left = 0.0;
-                self.note_split();
-                out.push(served);
-            }
-        }
-        amount - left
     }
 }
 
@@ -551,7 +335,7 @@ mod tests {
         n.enqueue(chunk(1, 5.0, 0));
         n.enqueue(chunk(0, 5.0, 1));
         n.enqueue(chunk(1, 5.0, 2));
-        let out = n.serve_slot(2);
+        let out = n.serve_slot_vec(2);
         assert_eq!(out.len(), 2);
         assert_eq!((out[0].class, out[0].node_arrival), (1, 0));
         assert_eq!((out[1].class, out[1].node_arrival), (0, 1));
@@ -563,7 +347,7 @@ mod tests {
         let mut n = Node::new(4.0, NodePolicy::Fifo, 2);
         n.enqueue(chunk(1, 4.0, 0));
         n.enqueue(chunk(0, 4.0, 0));
-        let out = n.serve_slot(0);
+        let out = n.serve_slot_vec(0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].class, 0);
     }
@@ -572,12 +356,23 @@ mod tests {
     fn chunk_splitting_preserves_bits() {
         let mut n = Node::new(3.0, NodePolicy::Fifo, 1);
         n.enqueue(chunk(0, 10.0, 0));
-        let out1 = n.serve_slot(0);
+        let out1 = n.serve_slot_vec(0);
         assert_eq!(out1.len(), 1);
         assert!((out1[0].bits - 3.0).abs() < 1e-12);
         assert!((n.backlog() - 7.0).abs() < 1e-12);
-        let out2 = n.serve_slot(1);
+        let out2 = n.serve_slot_vec(1);
         assert!((out2[0].bits - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_slot_appends_without_clearing() {
+        let mut n = Node::new(3.0, NodePolicy::Fifo, 1);
+        n.enqueue(chunk(0, 6.0, 0));
+        let mut out = Vec::new();
+        n.serve_slot(0, &mut out);
+        n.serve_slot(1, &mut out);
+        assert_eq!(out.len(), 2, "departures accumulate in the caller's buffer");
+        assert!((out.iter().map(|c| c.bits).sum::<f64>() - 6.0).abs() < 1e-12);
     }
 
     #[test]
@@ -585,7 +380,7 @@ mod tests {
         let mut n = Node::new(5.0, NodePolicy::StaticPriority(vec![1, 0]), 2);
         n.enqueue(chunk(0, 5.0, 0)); // low priority, arrived first
         n.enqueue(chunk(1, 5.0, 3)); // high priority, arrived later
-        let out = n.serve_slot(3);
+        let out = n.serve_slot_vec(3);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].class, 1, "high priority must be served first");
     }
@@ -597,14 +392,14 @@ mod tests {
         let mut n = Node::new(5.0, NodePolicy::Edf(vec![10.0, 2.0]), 2);
         n.enqueue(chunk(0, 5.0, 0));
         n.enqueue(chunk(1, 5.0, 5));
-        let out = n.serve_slot(5);
+        let out = n.serve_slot_vec(5);
         assert_eq!(out[0].class, 1);
         // And the other way: class-1 at t=9 (deadline 11) loses to
         // class-0 at t=0 (deadline 10).
         let mut n = Node::new(5.0, NodePolicy::Edf(vec![10.0, 2.0]), 2);
         n.enqueue(chunk(0, 5.0, 0));
         n.enqueue(chunk(1, 5.0, 9));
-        let out = n.serve_slot(9);
+        let out = n.serve_slot_vec(9);
         assert_eq!(out[0].class, 0, "deadline 10 beats deadline 9+2=11");
     }
 
@@ -613,7 +408,7 @@ mod tests {
         let mut n = Node::new(9.0, NodePolicy::Gps(vec![2.0, 1.0]), 2);
         n.enqueue(chunk(0, 100.0, 0));
         n.enqueue(chunk(1, 100.0, 0));
-        let _ = n.serve_slot(0);
+        let _ = n.serve_slot_vec(0);
         // Class 0 gets 6, class 1 gets 3.
         assert!((n.class_backlog(0) - 94.0).abs() < 1e-9);
         assert!((n.class_backlog(1) - 97.0).abs() < 1e-9);
@@ -624,7 +419,7 @@ mod tests {
         let mut n = Node::new(9.0, NodePolicy::Gps(vec![2.0, 1.0]), 2);
         n.enqueue(chunk(0, 1.0, 0)); // class 0 needs far less than its share
         n.enqueue(chunk(1, 100.0, 0));
-        let _ = n.serve_slot(0);
+        let _ = n.serve_slot_vec(0);
         assert_eq!(n.class_backlog(0), 0.0);
         // Class 1 receives the remaining 8 units.
         assert!((n.class_backlog(1) - 92.0).abs() < 1e-9);
@@ -642,9 +437,9 @@ mod tests {
             let mut n = Node::new(5.0, policy.clone(), 2);
             n.enqueue(chunk(0, 4.0, 0));
             n.enqueue(chunk(1, 3.0, 0));
-            let served: f64 = n.serve_slot(0).iter().map(|c| c.bits).sum();
+            let served: f64 = n.serve_slot_vec(0).iter().map(|c| c.bits).sum();
             assert!((served - 5.0).abs() < 1e-9, "{policy:?} not work conserving");
-            let served2: f64 = n.serve_slot(1).iter().map(|c| c.bits).sum();
+            let served2: f64 = n.serve_slot_vec(1).iter().map(|c| c.bits).sum();
             assert!((served2 - 2.0).abs() < 1e-9, "{policy:?} second slot");
         }
     }
@@ -653,6 +448,33 @@ mod tests {
     #[should_panic(expected = "policy parameters must cover every class")]
     fn rejects_mismatched_policy() {
         let _ = Node::new(1.0, NodePolicy::Edf(vec![1.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "EDF deadlines must be finite")]
+    fn rejects_nan_deadline() {
+        let _ = Node::new(1.0, NodePolicy::Edf(vec![f64::NAN, 1.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "EDF deadlines must be finite")]
+    fn rejects_infinite_deadline() {
+        let _ = Node::new(1.0, NodePolicy::Edf(vec![f64::INFINITY, 1.0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "GPS weights must be positive")]
+    fn rejects_nonfinite_gps_weight() {
+        let _ = Node::new(1.0, NodePolicy::Gps(vec![f64::NAN, 1.0]), 2);
+    }
+
+    #[test]
+    fn validate_flags_bad_parameters() {
+        assert!(NodePolicy::Fifo.validate().is_ok());
+        assert!(NodePolicy::Edf(vec![0.0, 3.5]).validate().is_ok());
+        assert!(NodePolicy::Edf(vec![-1.0]).validate().is_err());
+        assert!(NodePolicy::Gps(vec![1.0, f64::INFINITY]).validate().is_err());
+        assert!(NodePolicy::Scfq(vec![1.0, 0.0]).validate().is_err());
     }
 
     #[test]
@@ -666,16 +488,16 @@ mod tests {
             ServiceMode::NonPreemptive,
         );
         n.enqueue(chunk(0, 8.0, 0)); // needs 2 slots
-        let out0 = n.serve_slot(0);
+        let out0 = n.serve_slot_vec(0);
         assert!(out0.is_empty(), "packet still on the wire");
         n.enqueue(chunk(1, 4.0, 1)); // high priority arrives during service
-        let out1 = n.serve_slot(1);
+        let out1 = n.serve_slot_vec(1);
         // Slot 1: finish the low-priority packet (4 bits) — the high-
         // priority one is blocked despite its priority.
         assert_eq!(out1.len(), 1);
         assert_eq!(out1[0].class, 0);
         assert!((out1[0].bits - 8.0).abs() < 1e-12, "departs whole");
-        let out2 = n.serve_slot(2);
+        let out2 = n.serve_slot_vec(2);
         assert_eq!(out2[0].class, 1);
     }
 
@@ -683,10 +505,10 @@ mod tests {
     fn nonpreemptive_departures_are_whole_chunks() {
         let mut n = Node::with_mode(3.0, NodePolicy::Fifo, 1, ServiceMode::NonPreemptive);
         n.enqueue(chunk(0, 10.0, 0));
-        assert!(n.serve_slot(0).is_empty());
-        assert!(n.serve_slot(1).is_empty());
-        assert!(n.serve_slot(2).is_empty());
-        let out = n.serve_slot(3);
+        assert!(n.serve_slot_vec(0).is_empty());
+        assert!(n.serve_slot_vec(1).is_empty());
+        assert!(n.serve_slot_vec(2).is_empty());
+        let out = n.serve_slot_vec(3);
         assert_eq!(out.len(), 1);
         assert!((out[0].bits - 10.0).abs() < 1e-12);
         assert_eq!(n.backlog(), 0.0);
@@ -698,10 +520,10 @@ mod tests {
         n.enqueue(chunk(0, 3.0, 0));
         n.enqueue(chunk(1, 3.0, 0));
         // Slot 0 serves 5 bits of work (chunk 0 fully, chunk 1 partly).
-        let out = n.serve_slot(0);
+        let out = n.serve_slot_vec(0);
         assert_eq!(out.len(), 1);
         assert!((n.backlog() - 1.0).abs() < 1e-12);
-        let out1 = n.serve_slot(1);
+        let out1 = n.serve_slot_vec(1);
         assert_eq!(out1.len(), 1);
         assert!((out1[0].bits - 3.0).abs() < 1e-12, "whole size reported");
     }
@@ -719,7 +541,7 @@ mod tests {
         }
         let mut served = [0.0_f64; 2];
         for t in 0..20 {
-            for c in n.serve_slot(t) {
+            for c in n.serve_slot_vec(t) {
                 served[c.class] += c.bits;
             }
         }
@@ -734,7 +556,7 @@ mod tests {
     fn scfq_single_backlogged_class_gets_everything() {
         let mut n = Node::new(5.0, NodePolicy::Scfq(vec![1.0, 3.0]), 2);
         n.enqueue(chunk(0, 12.0, 0));
-        let served: f64 = (0..3).flat_map(|t| n.serve_slot(t)).map(|c| c.bits).sum();
+        let served: f64 = (0..3).flat_map(|t| n.serve_slot_vec(t)).map(|c| c.bits).sum();
         assert!((served - 12.0).abs() < 1e-9);
     }
 
@@ -748,14 +570,14 @@ mod tests {
             n.enqueue(chunk(0, 2.0, 0));
         }
         for t in 0..5 {
-            let _ = n.serve_slot(t); // class 0 alone: v advances
+            let _ = n.serve_slot_vec(t); // class 0 alone: v advances
         }
         for _ in 0..4 {
             n.enqueue(chunk(1, 2.0, 5));
         }
         let mut served = [0.0_f64; 2];
         for t in 5..9 {
-            for c in n.serve_slot(t) {
+            for c in n.serve_slot_vec(t) {
                 served[c.class] += c.bits;
             }
         }
@@ -772,7 +594,7 @@ mod tests {
         n.enqueue(chunk(1, 3.0, 0));
         let mut sizes = Vec::new();
         for t in 0..4 {
-            sizes.extend(n.serve_slot(t).iter().map(|c| c.bits));
+            sizes.extend(n.serve_slot_vec(t).iter().map(|c| c.bits));
         }
         assert_eq!(sizes.len(), 2);
         for s in sizes {
@@ -794,7 +616,7 @@ mod tests {
         n.enqueue(chunk(0, 10.0, 0));
         n.enqueue(chunk(1, 1.0, 0));
         assert_eq!(n.queue_len(), 2);
-        let _ = n.serve_slot(0); // first chunk moves onto the wire
+        let _ = n.serve_slot_vec(0); // first chunk moves onto the wire
         assert_eq!(n.queue_len(), 2, "partially served chunk still counts");
     }
 
@@ -804,7 +626,7 @@ mod tests {
         let mut n = Node::new(2.0, NodePolicy::Edf(vec![1.0, 1.0]), 2);
         n.enqueue(chunk(0, 6.0, 0)); // needs 3 slots against deadline 1
         for t in 0..3 {
-            let _ = n.serve_slot(t);
+            let _ = n.serve_slot_vec(t);
         }
         let c = n.counters();
         assert_eq!(c.completed_chunks, 1);
@@ -818,7 +640,7 @@ mod tests {
     fn counters_edf_on_time_completion_is_not_a_miss() {
         let mut n = Node::new(10.0, NodePolicy::Edf(vec![5.0, 5.0]), 2);
         n.enqueue(chunk(0, 10.0, 0));
-        let _ = n.serve_slot(0);
+        let _ = n.serve_slot_vec(0);
         let c = n.counters();
         assert_eq!((c.completed_chunks, c.deadline_misses), (1, 0));
     }
@@ -829,7 +651,7 @@ mod tests {
         let mut n = Node::new(2.0, NodePolicy::Fifo, 1);
         n.enqueue(chunk(0, 6.0, 0));
         for t in 0..3 {
-            let _ = n.serve_slot(t);
+            let _ = n.serve_slot_vec(t);
         }
         assert_eq!(n.counters(), NodeCounters::default());
     }

@@ -1,0 +1,446 @@
+//! Per-policy service logic behind [`Node`](crate::Node).
+//!
+//! Each policy is its own type implementing the [`Scheduler`] trait;
+//! [`Node`](crate::Node) owns one (via [`SchedulerImpl`]) together with
+//! the policy-independent state ([`NodeCore`]: queues, wire, counters).
+//! The serve path appends departures into a caller-owned buffer, so a
+//! steady-state slot performs no allocation.
+//!
+//! Precedence comparisons use [`f64::total_cmp`], so a NaN key can never
+//! silently corrupt queue order; construction rejects non-finite policy
+//! parameters outright (see `NodePolicy::validate`).
+
+use crate::node::{Chunk, NodeCore, NodePolicy, ServiceMode};
+use std::cmp::Ordering;
+use std::collections::VecDeque;
+
+/// One scheduling policy's service logic over a [`NodeCore`].
+pub(crate) trait Scheduler {
+    /// Stamps per-chunk scheduler state at arrival (SCFQ virtual-finish
+    /// tags); no-op for policies whose precedence derives from the chunk
+    /// itself.
+    fn on_enqueue(&mut self, _chunk: &Chunk) {}
+
+    /// Serves one slot of `core.capacity`, appending departing chunks
+    /// (or fragments) to `out` in service order.
+    fn serve(&mut self, core: &mut NodeCore, mode: ServiceMode, slot: u64, out: &mut Vec<Chunk>);
+}
+
+/// A chunk's precedence: smaller serves first. Ties on the primary
+/// criterion break by node arrival slot, then class index.
+#[derive(Debug, Clone, Copy)]
+struct Key {
+    primary: f64,
+    arrival: u64,
+    class: usize,
+}
+
+impl Key {
+    /// Strict "serves before" — a total order via [`f64::total_cmp`].
+    /// Keys are non-negative in this simulator (arrival slots, priority
+    /// levels, validated deadlines), so this matches the naive `<` on
+    /// every reachable input while staying robust to NaN.
+    fn precedes(&self, other: &Key) -> bool {
+        match self.primary.total_cmp(&other.primary) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => (self.arrival, self.class) < (other.arrival, other.class),
+        }
+    }
+}
+
+/// First-in-first-out across classes (ties prefer lower class index).
+#[derive(Debug, Clone)]
+pub(crate) struct Fifo;
+
+/// Static priority: smaller level serves first, FIFO within a level.
+#[derive(Debug, Clone)]
+pub(crate) struct Sp {
+    levels: Vec<u32>,
+}
+
+/// Earliest deadline first with per-class relative deadlines (slots).
+#[derive(Debug, Clone)]
+pub(crate) struct Edf {
+    deadlines: Vec<f64>,
+}
+
+/// Generalized processor sharing: fluid water-filling by weight.
+#[derive(Debug, Clone)]
+pub(crate) struct Gps {
+    weights: Vec<f64>,
+}
+
+/// Self-clocked fair queueing (Golestani): virtual-finish tags stamped
+/// at arrival, service in tag order. All SCFQ state (tags, per-class
+/// last finish, virtual time) lives here.
+#[derive(Debug, Clone)]
+pub(crate) struct Scfq {
+    weights: Vec<f64>,
+    /// Virtual-finish tags, aligned with the per-class queues.
+    tags: Vec<VecDeque<f64>>,
+    /// Per-class last assigned finish tag.
+    last_finish: Vec<f64>,
+    /// The tag of the chunk most recently selected for service.
+    vtime: f64,
+}
+
+/// Enum dispatch over the policy impls, keeping [`Node`](crate::Node)
+/// `Clone + Debug` without boxing.
+#[derive(Debug, Clone)]
+pub(crate) enum SchedulerImpl {
+    Fifo(Fifo),
+    Sp(Sp),
+    Edf(Edf),
+    Gps(Gps),
+    Scfq(Scfq),
+}
+
+impl SchedulerImpl {
+    /// Builds the service logic for a policy, validating its parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the per-class parameter length differs from `classes`,
+    /// on non-preemptive GPS (packetized WFQ is not modelled), or if
+    /// `policy.validate()` rejects the parameters (non-finite deadlines,
+    /// non-positive weights).
+    pub(crate) fn new(policy: &NodePolicy, classes: usize, mode: ServiceMode) -> Self {
+        if let Some(n) = policy.param_len() {
+            assert_eq!(n, classes, "Node: policy parameters must cover every class");
+        }
+        if mode == ServiceMode::NonPreemptive {
+            assert!(
+                !matches!(policy, NodePolicy::Gps(_)),
+                "Node: non-preemptive GPS (packetized WFQ) is not modelled; use Scfq"
+            );
+        }
+        if let Err(e) = policy.validate() {
+            panic!("Node: {e}");
+        }
+        match policy {
+            NodePolicy::Fifo => SchedulerImpl::Fifo(Fifo),
+            NodePolicy::StaticPriority(levels) => SchedulerImpl::Sp(Sp { levels: levels.clone() }),
+            NodePolicy::Edf(deadlines) => SchedulerImpl::Edf(Edf { deadlines: deadlines.clone() }),
+            NodePolicy::Gps(weights) => SchedulerImpl::Gps(Gps { weights: weights.clone() }),
+            NodePolicy::Scfq(weights) => SchedulerImpl::Scfq(Scfq {
+                weights: weights.clone(),
+                tags: vec![VecDeque::new(); classes],
+                last_finish: vec![0.0; classes],
+                vtime: 0.0,
+            }),
+        }
+    }
+}
+
+impl Scheduler for SchedulerImpl {
+    fn on_enqueue(&mut self, chunk: &Chunk) {
+        if let SchedulerImpl::Scfq(s) = self {
+            s.on_enqueue(chunk);
+        }
+    }
+
+    fn serve(&mut self, core: &mut NodeCore, mode: ServiceMode, slot: u64, out: &mut Vec<Chunk>) {
+        match self {
+            SchedulerImpl::Fifo(s) => s.serve(core, mode, slot, out),
+            SchedulerImpl::Sp(s) => s.serve(core, mode, slot, out),
+            SchedulerImpl::Edf(s) => s.serve(core, mode, slot, out),
+            SchedulerImpl::Gps(s) => s.serve(core, mode, slot, out),
+            SchedulerImpl::Scfq(s) => s.serve(core, mode, slot, out),
+        }
+    }
+}
+
+impl Scheduler for Fifo {
+    fn serve(&mut self, core: &mut NodeCore, mode: ServiceMode, slot: u64, out: &mut Vec<Chunk>) {
+        let key = |class: usize, arrival: u64| Key { primary: arrival as f64, arrival, class };
+        serve_keyed(core, mode, &key, None, slot, out);
+    }
+}
+
+impl Scheduler for Sp {
+    fn serve(&mut self, core: &mut NodeCore, mode: ServiceMode, slot: u64, out: &mut Vec<Chunk>) {
+        let levels = &self.levels;
+        let key =
+            |class: usize, arrival: u64| Key { primary: levels[class] as f64, arrival, class };
+        serve_keyed(core, mode, &key, None, slot, out);
+    }
+}
+
+impl Scheduler for Edf {
+    fn serve(&mut self, core: &mut NodeCore, mode: ServiceMode, slot: u64, out: &mut Vec<Chunk>) {
+        let deadlines = &self.deadlines;
+        let key = |class: usize, arrival: u64| Key {
+            primary: arrival as f64 + deadlines[class],
+            arrival,
+            class,
+        };
+        serve_keyed(core, mode, &key, Some(deadlines), slot, out);
+    }
+}
+
+/// Shared serve path of the precedence-keyed (Δ-scheduler) policies.
+fn serve_keyed(
+    core: &mut NodeCore,
+    mode: ServiceMode,
+    key: &dyn Fn(usize, u64) -> Key,
+    deadlines: Option<&[f64]>,
+    slot: u64,
+    out: &mut Vec<Chunk>,
+) {
+    match mode {
+        ServiceMode::Fluid => serve_keyed_fluid(core, key, deadlines, slot, out),
+        ServiceMode::NonPreemptive => serve_keyed_nonpreemptive(core, key, deadlines, slot, out),
+    }
+}
+
+/// The class whose head chunk has the smallest key, if any is backlogged.
+fn best_keyed_class(core: &NodeCore, key: &dyn Fn(usize, u64) -> Key) -> Option<usize> {
+    let mut best: Option<(usize, Key)> = None;
+    for (class, q) in core.queues.iter().enumerate() {
+        if let Some(head) = q.front() {
+            let k = key(class, head.node_arrival);
+            if best.map(|(_, bk)| k.precedes(&bk)).unwrap_or(true) {
+                best = Some((class, k));
+            }
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// Serves in global precedence-key order by repeatedly draining the
+/// class whose head chunk has the smallest key (per-class queues are
+/// key-sorted because Δ-schedulers are locally FIFO).
+fn serve_keyed_fluid(
+    core: &mut NodeCore,
+    key: &dyn Fn(usize, u64) -> Key,
+    deadlines: Option<&[f64]>,
+    slot: u64,
+    out: &mut Vec<Chunk>,
+) {
+    let mut budget = core.capacity;
+    while budget > 1e-12 {
+        let Some(class) = best_keyed_class(core, key) else { break };
+        core.note_decision();
+        let head = core.queues[class].front_mut().expect("class with a head chunk");
+        if head.bits <= budget {
+            budget -= head.bits;
+            let done = core.queues[class].pop_front().expect("head exists");
+            core.note_completion(deadlines, &done, slot);
+            out.push(done);
+        } else {
+            let mut served = *head;
+            served.bits = budget;
+            head.bits -= budget;
+            budget = 0.0;
+            core.note_split();
+            out.push(served);
+        }
+    }
+}
+
+/// Non-preemptive service: finish the chunk on the wire before
+/// consulting the precedence order again; completed chunks depart
+/// whole (no fragments).
+fn serve_keyed_nonpreemptive(
+    core: &mut NodeCore,
+    key: &dyn Fn(usize, u64) -> Key,
+    deadlines: Option<&[f64]>,
+    slot: u64,
+    out: &mut Vec<Chunk>,
+) {
+    let mut budget = core.capacity;
+    while budget > 1e-12 {
+        if core.in_service.is_none() {
+            let Some(class) = best_keyed_class(core, key) else { break };
+            core.note_decision();
+            let chunk = core.queues[class].pop_front().expect("head exists");
+            let original = chunk.bits;
+            core.in_service = Some((chunk, original));
+        }
+        let (cur, _) = core.in_service.as_mut().expect("chunk selected above");
+        let served = cur.bits.min(budget);
+        cur.bits -= served;
+        budget -= served;
+        if cur.bits <= 1e-12 {
+            let (mut done, size) = core.in_service.take().expect("current chunk");
+            // The whole chunk departs at completion time with its
+            // original size (non-preemptive last-bit semantics).
+            done.bits = size;
+            core.note_completion(deadlines, &done, slot);
+            out.push(done);
+        }
+    }
+}
+
+impl Scheduler for Gps {
+    /// GPS fluid service: water-filling of the slot capacity across
+    /// backlogged classes in proportion to their weights. (Non-preemptive
+    /// GPS is rejected at construction, so `mode` is always fluid.)
+    fn serve(&mut self, core: &mut NodeCore, _mode: ServiceMode, _slot: u64, out: &mut Vec<Chunk>) {
+        let mut budget = core.capacity;
+        // Served bits this slot, accumulated in departure order — the
+        // budget recomputation below must stay bit-identical to summing
+        // the slot's departures left-to-right.
+        let mut total_served = 0.0_f64;
+        // Iterate: distribute the remaining budget among still-backlogged
+        // classes; classes that empty return their surplus.
+        loop {
+            let mut wsum = 0.0_f64;
+            let mut any_active = false;
+            for (c, q) in core.queues.iter().enumerate() {
+                if !q.is_empty() {
+                    wsum += self.weights[c];
+                    any_active = true;
+                }
+            }
+            if !any_active || budget <= 1e-12 {
+                break;
+            }
+            core.note_decision(); // one water-filling round
+            let mut consumed_any = false;
+            for c in 0..core.queues.len() {
+                if core.queues[c].is_empty() {
+                    continue;
+                }
+                let share = budget * self.weights[c] / wsum;
+                let served = drain_class(core, c, share, out, &mut total_served);
+                if served > 1e-15 {
+                    consumed_any = true;
+                }
+            }
+            // Recompute the budget from what was actually served.
+            budget = core.capacity - total_served;
+            if !consumed_any {
+                break;
+            }
+        }
+    }
+}
+
+/// Serves up to `amount` from class `c` in FIFO order; returns the
+/// amount actually served and adds each departure to `acc` in order.
+fn drain_class(
+    core: &mut NodeCore,
+    c: usize,
+    amount: f64,
+    out: &mut Vec<Chunk>,
+    acc: &mut f64,
+) -> f64 {
+    let mut left = amount;
+    while left > 1e-12 {
+        let Some(head) = core.queues[c].front_mut() else { break };
+        if head.bits <= left {
+            left -= head.bits;
+            let done = core.queues[c].pop_front().expect("head exists");
+            core.note_chunk_completed();
+            *acc += done.bits;
+            out.push(done);
+        } else {
+            let mut served = *head;
+            served.bits = left;
+            head.bits -= left;
+            left = 0.0;
+            core.note_split();
+            *acc += served.bits;
+            out.push(served);
+        }
+    }
+    amount - left
+}
+
+impl Scfq {
+    /// The class whose head chunk has the smallest virtual-finish tag.
+    fn best_class(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (class, tags) in self.tags.iter().enumerate() {
+            if let Some(&tag) = tags.front() {
+                if best.map(|(_, bt)| tag.total_cmp(&bt) == Ordering::Less).unwrap_or(true) {
+                    best = Some((class, tag));
+                }
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// When the node drains completely, reset the virtual clock so tags
+    /// do not grow without bound across busy periods.
+    fn reset_if_drained(&mut self, core: &NodeCore) {
+        if core.in_service.is_none() && core.queues.iter().all(VecDeque::is_empty) {
+            self.vtime = 0.0;
+            self.last_finish.iter_mut().for_each(|f| *f = 0.0);
+        }
+    }
+
+    /// SCFQ with preemptible (fluid) service: serve in tag order,
+    /// splitting at the slot budget.
+    fn serve_fluid(&mut self, core: &mut NodeCore, out: &mut Vec<Chunk>) {
+        let mut budget = core.capacity;
+        while budget > 1e-12 {
+            let Some(class) = self.best_class() else { break };
+            core.note_decision();
+            self.vtime = *self.tags[class].front().expect("tag for head chunk");
+            let head = core.queues[class].front_mut().expect("chunk for tag");
+            if head.bits <= budget {
+                budget -= head.bits;
+                let done = core.queues[class].pop_front().expect("head exists");
+                self.tags[class].pop_front();
+                core.note_chunk_completed();
+                out.push(done);
+            } else {
+                let mut served = *head;
+                served.bits = budget;
+                head.bits -= budget;
+                budget = 0.0;
+                core.note_split();
+                out.push(served);
+            }
+        }
+        self.reset_if_drained(core);
+    }
+
+    /// SCFQ with non-preemptive service (the classical packet form).
+    fn serve_nonpreemptive(&mut self, core: &mut NodeCore, out: &mut Vec<Chunk>) {
+        let mut budget = core.capacity;
+        while budget > 1e-12 {
+            if core.in_service.is_none() {
+                let Some(class) = self.best_class() else { break };
+                core.note_decision();
+                self.vtime = self.tags[class].pop_front().expect("tag for head chunk");
+                let chunk = core.queues[class].pop_front().expect("chunk for tag");
+                let original = chunk.bits;
+                core.in_service = Some((chunk, original));
+            }
+            let (cur, _) = core.in_service.as_mut().expect("chunk selected above");
+            let served = cur.bits.min(budget);
+            cur.bits -= served;
+            budget -= served;
+            if cur.bits <= 1e-12 {
+                let (mut done, size) = core.in_service.take().expect("current chunk");
+                done.bits = size;
+                core.note_chunk_completed();
+                out.push(done);
+            }
+        }
+        self.reset_if_drained(core);
+    }
+}
+
+impl Scheduler for Scfq {
+    /// Stamps the virtual finish tag
+    /// `F = max(v, F_last[class]) + bits/w[class]` (arrival-time
+    /// semantics).
+    fn on_enqueue(&mut self, chunk: &Chunk) {
+        let start = self.vtime.max(self.last_finish[chunk.class]);
+        let finish = start + chunk.bits / self.weights[chunk.class];
+        self.last_finish[chunk.class] = finish;
+        self.tags[chunk.class].push_back(finish);
+    }
+
+    fn serve(&mut self, core: &mut NodeCore, mode: ServiceMode, _slot: u64, out: &mut Vec<Chunk>) {
+        match mode {
+            ServiceMode::Fluid => self.serve_fluid(core, out),
+            ServiceMode::NonPreemptive => self.serve_nonpreemptive(core, out),
+        }
+    }
+}

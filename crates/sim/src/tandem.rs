@@ -108,6 +108,12 @@ pub struct TandemSim {
     nodes: Vec<Node>,
     /// Outstanding through emissions: (entry slot, bits still inside).
     outstanding: VecDeque<(u64, f64)>,
+    /// Reusable buffer of chunks moving to the next node within the
+    /// current slot (cut-through), kept across slots to avoid per-slot
+    /// allocation.
+    forwarded: Vec<Chunk>,
+    /// Reusable per-node departure buffer passed to [`Node::serve_slot`].
+    departures: Vec<Chunk>,
     /// Packet-mode residual fluid per traffic feed (through, then one
     /// per node's cross aggregate).
     residuals: Vec<f64>,
@@ -171,6 +177,8 @@ impl TandemSim {
             cross,
             nodes,
             outstanding: VecDeque::new(),
+            forwarded: Vec::new(),
+            departures: Vec::new(),
             residuals: vec![0.0; cfg.hops + 1],
             slot: 0,
             stats: DelayStats::new(),
@@ -255,7 +263,11 @@ impl TandemSim {
         let t = self.slot;
         let raw_thr = self.through.pull(&mut self.rng);
         let (thr_bits, thr_packets) = self.quantize(0, raw_thr);
-        let mut forwarded: Vec<Chunk> = Vec::new();
+        // Reuse the per-step buffers (taken out of `self` to satisfy the
+        // borrow checker, restored below); both end each step drained,
+        // so only their capacity survives.
+        let mut forwarded = std::mem::take(&mut self.forwarded);
+        let mut departures = std::mem::take(&mut self.departures);
         if thr_bits > 0.0 {
             let per = thr_bits / thr_packets as f64;
             for _ in 0..thr_packets {
@@ -282,7 +294,8 @@ impl TandemSim {
                     self.nodes[h].enqueue(Chunk { class: 1, bits: per, entry: t, node_arrival: t });
                 }
             }
-            let departures = self.nodes[h].serve_slot(t);
+            departures.clear();
+            self.nodes[h].serve_slot(t, &mut departures);
             if h == 0 && t >= self.cfg.warmup {
                 self.backlog_stats.record(self.nodes[0].class_backlog(0));
             }
@@ -296,7 +309,7 @@ impl TandemSim {
                     tel.cross_emission_kb[h].record(cross_bits);
                 }
             }
-            for mut c in departures {
+            for mut c in departures.drain(..) {
                 if c.class != 0 {
                     continue; // cross traffic leaves after one hop
                 }
@@ -308,6 +321,8 @@ impl TandemSim {
                 }
             }
         }
+        self.forwarded = forwarded;
+        self.departures = departures;
         if let Some(tel) = &mut self.telemetry {
             tel.slots += 1;
         }
@@ -406,6 +421,7 @@ pub fn replay_single_node(
     let mut outstanding: Vec<VecDeque<(u64, f64)>> = vec![VecDeque::new(); classes];
     let mut stats: Vec<DelayStats> = vec![DelayStats::new(); classes];
     let horizon = traces.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    let mut departures: Vec<Chunk> = Vec::new();
     let mut t = 0u64;
     loop {
         if t < horizon {
@@ -417,7 +433,9 @@ pub fn replay_single_node(
                 }
             }
         }
-        for c in node.serve_slot(t) {
+        departures.clear();
+        node.serve_slot(t, &mut departures);
+        for c in departures.drain(..) {
             let front =
                 outstanding[c.class].front_mut().expect("departure without outstanding data");
             front.1 -= c.bits;

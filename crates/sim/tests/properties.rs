@@ -38,7 +38,7 @@ proptest! {
         for (gap, class, bits) in arr {
             t += gap;
             node.enqueue(Chunk { class, bits, entry: t, node_arrival: t });
-            let served: f64 = node.serve_slot(t).iter().map(|c| c.bits).sum();
+            let served: f64 = node.serve_slot_vec(t).iter().map(|c| c.bits).sum();
             if node.backlog() > 1e-9 {
                 prop_assert!((served - cap).abs() < 1e-9,
                     "idle while backlogged: served {served}, backlog {}", node.backlog());
@@ -58,7 +58,7 @@ proptest! {
             t += gap;
             node.enqueue(Chunk { class, bits, entry: t, node_arrival: t });
             enqueued += bits;
-            served += node.serve_slot(t).iter().map(|c| c.bits).sum::<f64>();
+            served += node.serve_slot_vec(t).iter().map(|c| c.bits).sum::<f64>();
             t += 1;
         }
         // Drain.
@@ -66,7 +66,7 @@ proptest! {
             if node.backlog() <= 1e-9 {
                 break;
             }
-            served += node.serve_slot(t).iter().map(|c| c.bits).sum::<f64>();
+            served += node.serve_slot_vec(t).iter().map(|c| c.bits).sum::<f64>();
             t += 1;
         }
         prop_assert!((enqueued - served).abs() < 1e-6,
@@ -89,14 +89,14 @@ proptest! {
             t += gap;
             node.enqueue(Chunk { class, bits, entry: t, node_arrival: t });
             sizes.push(bits);
-            out_sizes.extend(node.serve_slot(t).iter().map(|c| c.bits));
+            out_sizes.extend(node.serve_slot_vec(t).iter().map(|c| c.bits));
             t += 1;
         }
         for _ in 0..10_000 {
             if node.backlog() <= 1e-9 {
                 break;
             }
-            out_sizes.extend(node.serve_slot(t).iter().map(|c| c.bits));
+            out_sizes.extend(node.serve_slot_vec(t).iter().map(|c| c.bits));
             t += 1;
         }
         prop_assert_eq!(sizes.len(), out_sizes.len(), "every chunk departs exactly once");

@@ -1,9 +1,12 @@
-//! Minimal JSON building blocks and a syntax validator.
+//! Minimal JSON building blocks, a syntax validator, and a small
+//! value-returning parser.
 //!
 //! The artifact writers assemble JSON by hand (no serde in an offline
 //! build); these helpers keep the escaping and number formatting in one
-//! audited place, and [`validate`] lets tests and CI assert that an
-//! emitted artifact parses without any external tooling.
+//! audited place, [`validate`] lets tests and CI assert that an emitted
+//! artifact parses without any external tooling, and [`parse`] returns a
+//! [`Json`] tree for consumers (like the scenario loader) that need to
+//! read hand-written JSON documents.
 
 /// Escapes and quotes a string as a JSON string literal.
 pub fn string(s: &str) -> String {
@@ -38,19 +41,112 @@ pub fn num(v: f64) -> String {
     }
 }
 
-/// Checks that `s` is one complete JSON value (with optional
-/// surrounding whitespace). Returns the byte offset of the first
-/// error.
-pub fn validate(s: &str) -> Result<(), String> {
+/// A parsed JSON value.
+///
+/// Objects preserve insertion order (a plain key/value list, not a map):
+/// the documents this crate reads are small, and order preservation keeps
+/// round-trip diagnostics readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// The `null` literal.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// A number (JSON numbers are parsed as `f64`).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array of values.
+    Array(Vec<Json>),
+    /// An object as an ordered key/value list.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric member interpreted as `u64` (must be a non-negative
+    /// integer representable without rounding).
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        if v >= 0.0 && v <= 2f64.powi(53) && v.fract() == 0.0 {
+            Some(v as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice of items if it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as ordered members if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is the `null` literal.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Parses one complete JSON document (optional surrounding whitespace)
+/// into a [`Json`] tree. Errors carry the byte offset of the failure.
+pub fn parse(s: &str) -> Result<Json, String> {
     let b = s.as_bytes();
     let mut pos = 0;
     skip_ws(b, &mut pos);
-    value(b, &mut pos)?;
+    let v = value(b, &mut pos)?;
     skip_ws(b, &mut pos);
     if pos != b.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
-    Ok(())
+    Ok(v)
+}
+
+/// Checks that `s` is one complete JSON value (with optional
+/// surrounding whitespace). Returns the byte offset of the first
+/// error.
+pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -59,14 +155,14 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     match b.get(*pos) {
         Some(b'{') => object(b, pos),
         Some(b'[') => array(b, pos),
-        Some(b'"') => string_lit(b, pos),
-        Some(b't') => literal(b, pos, "true"),
-        Some(b'f') => literal(b, pos, "false"),
-        Some(b'n') => literal(b, pos, "null"),
+        Some(b'"') => string_lit(b, pos).map(Json::Str),
+        Some(b't') => literal(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => literal(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => literal(b, pos, "null").map(|()| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
         Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
         None => Err(format!("unexpected end of input at {pos}", pos = *pos)),
@@ -82,82 +178,120 @@ fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
     }
 }
 
-fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let mut members = Vec::new();
     *pos += 1; // '{'
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Object(members));
     }
     loop {
         skip_ws(b, pos);
-        string_lit(b, pos)?;
+        let key = string_lit(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
             return Err(format!("expected `:` at byte {pos}", pos = *pos));
         }
         *pos += 1;
         skip_ws(b, pos);
-        value(b, pos)?;
+        let v = value(b, pos)?;
+        members.push((key, v));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Object(members));
             }
             _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let mut items = Vec::new();
     *pos += 1; // '['
     skip_ws(b, pos);
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(Json::Array(items));
     }
     loop {
         skip_ws(b, pos);
-        value(b, pos)?;
+        items.push(value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(Json::Array(items));
             }
             _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
         }
     }
 }
 
-fn string_lit(b: &[u8], pos: &mut usize) -> Result<(), String> {
+fn string_lit(b: &[u8], pos: &mut usize) -> Result<String, String> {
     if b.get(*pos) != Some(&b'"') {
         return Err(format!("expected string at byte {pos}", pos = *pos));
     }
     *pos += 1;
+    let mut out = String::new();
+    let mut run = *pos; // start of the current escape-free byte run
     while let Some(&c) = b.get(*pos) {
         match c {
             b'"' => {
+                out.push_str(raw_str(b, run, *pos));
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
+                out.push_str(raw_str(b, run, *pos));
                 *pos += 1;
                 match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        for i in 1..=4 {
-                            if !b.get(*pos + i).is_some_and(u8::is_ascii_hexdigit) {
-                                return Err(format!("bad \\u escape at byte {pos}", pos = *pos));
+                        let hi = hex4(b, pos)?;
+                        let ch = if (0xD800..0xDC00).contains(&hi) {
+                            // High surrogate: require a \uXXXX low half.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = hex4(b, pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!(
+                                        "unpaired surrogate at byte {pos}",
+                                        pos = *pos
+                                    ));
+                                }
+                                let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c).unwrap()
+                            } else {
+                                return Err(format!(
+                                    "unpaired surrogate at byte {pos}",
+                                    pos = *pos
+                                ));
                             }
-                        }
-                        *pos += 5;
+                        } else {
+                            char::from_u32(hi).ok_or_else(|| {
+                                format!("unpaired surrogate at byte {pos}", pos = *pos)
+                            })?
+                        };
+                        out.push(ch);
+                        // hex4 leaves `pos` on the final hex digit; the
+                        // shared advance below moves past it.
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
                 }
+                *pos += 1;
+                run = *pos;
             }
             c if c < 0x20 => {
                 return Err(format!("raw control byte in string at {pos}", pos = *pos))
@@ -168,7 +302,28 @@ fn string_lit(b: &[u8], pos: &mut usize) -> Result<(), String> {
     Err("unterminated string".to_string())
 }
 
-fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+/// The input is a `&str`, so any escape-free run between two byte
+/// offsets is valid UTF-8.
+fn raw_str(b: &[u8], start: usize, end: usize) -> &str {
+    std::str::from_utf8(&b[start..end]).expect("JSON input is a &str")
+}
+
+/// Reads the 4 hex digits of a `\u` escape. On entry `pos` is at the
+/// `u`; on success it is left on the final hex digit.
+fn hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let mut v = 0u32;
+    for i in 1..=4 {
+        let d = b
+            .get(*pos + i)
+            .and_then(|c| (*c as char).to_digit(16))
+            .ok_or_else(|| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+        v = v * 16 + d;
+    }
+    *pos += 4;
+    Ok(v)
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -198,7 +353,9 @@ fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("bad exponent at byte {start}"));
         }
     }
-    Ok(())
+    let text = raw_str(b, start, *pos);
+    let v: f64 = text.parse().map_err(|_| format!("bad number at byte {start}"))?;
+    Ok(Json::Num(v))
 }
 
 #[cfg(test)]
@@ -251,8 +408,47 @@ mod tests {
             "{'single': 1}",
             "[Infinity]",
             "{\"bad\\q\": 1}",
+            "\"lone \\ud800 surrogate\"",
         ] {
             assert!(validate(doc).is_err(), "accepted malformed {doc:?}");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_expected_tree() {
+        let doc = r#"{"name": "fig2", "hops": [2, 5, 10], "sim": {"on": true, "eps": 1e-3}, "note": null}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("fig2"));
+        let hops: Vec<u64> = v
+            .get("hops")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|h| h.as_u64().unwrap())
+            .collect();
+        assert_eq!(hops, [2, 5, 10]);
+        let sim = v.get("sim").unwrap();
+        assert_eq!(sim.get("on").and_then(Json::as_bool), Some(true));
+        assert_eq!(sim.get("eps").and_then(Json::as_f64), Some(1e-3));
+        assert!(v.get("note").unwrap().is_null());
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.as_object().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogate_pairs() {
+        let v = parse(r#""tab\there \u00e9 pair \ud83d\ude00 end""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\there \u{e9} pair \u{1f600} end"));
+        // Builder output round-trips through the parser.
+        let original = "a\"b\\c\nd\te\u{1}f\u{1f600}";
+        assert_eq!(parse(&string(original)).unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("\"42\"").unwrap().as_u64(), None);
     }
 }

@@ -1,0 +1,88 @@
+//! Validates a directory of scenario-run artifacts with the
+//! crate-internal JSON reader (no external tools): every `*.json` file
+//! must parse, and every `*.prom` file must be syntactically sound
+//! Prometheus text exposition (`#`-comments and `name value` lines).
+//!
+//! Used by the CI scenarios job:
+//!
+//! ```sh
+//! cargo run --release --example validate_artifacts -- scenario-artifacts
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_artifacts <dir>");
+        return ExitCode::FAILURE;
+    };
+    let mut checked = 0;
+    let mut failed = 0;
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries {
+        let path = match entry {
+            Ok(e) => e.path(),
+            Err(e) => {
+                eprintln!("directory entry: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        let Some(ext) = path.extension().and_then(|e| e.to_str()) else { continue };
+        let result = match ext {
+            "json" => std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| nc_telemetry::json::validate(&text)),
+            "prom" => std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| check_prometheus(&text)),
+            _ => continue,
+        };
+        checked += 1;
+        match result {
+            Ok(()) => println!("ok   {}", path.display()),
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failed += 1;
+            }
+        }
+    }
+    println!("{checked} artifact(s) checked, {failed} failure(s)");
+    if failed == 0 && checked > 0 {
+        ExitCode::SUCCESS
+    } else {
+        if checked == 0 {
+            eprintln!("no artifacts found in {dir}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Prometheus text format: comment lines start with `#`; sample lines
+/// are `metric_name[{labels}] value` with a finite numeric value.
+fn check_prometheus(text: &str) -> Result<(), String> {
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.rsplitn(2, ' ');
+        let value = parts.next().unwrap_or("");
+        let name = parts.next().unwrap_or("");
+        if name.is_empty() {
+            return Err(format!("line {}: missing metric name", i + 1));
+        }
+        let v: f64 =
+            value.parse().map_err(|_| format!("line {}: bad sample value `{value}`", i + 1))?;
+        if v.is_nan() {
+            return Err(format!("line {}: NaN sample", i + 1));
+        }
+    }
+    Ok(())
+}

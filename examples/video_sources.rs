@@ -83,7 +83,7 @@ fn main() {
         if a1 > 0.0 {
             node.enqueue(linksched::sim::Chunk { class: 1, bits: a1, entry: t, node_arrival: t });
         }
-        for c in node.serve_slot(t) {
+        for c in node.serve_slot_vec(t) {
             if c.class != 0 {
                 continue;
             }

@@ -6,15 +6,23 @@
 //!                    [--eps 1e-9] [--sched fifo|bmux|sp|edf:<d0>,<dc>|delta:<v>]
 //! linksched sweep    --hops 5 --through 100 [--cross-max 500] …
 //! linksched simulate --hops 3 --through 40 --cross 60 [--slots 1000000]
-//!                    [--seed 1] [--packet <kb>] [--sched …]
+//!                    [--seed 1] [--reps 1] [--packet <kb>] [--sched …]
+//! linksched run      scenario.json [--reps N] [--threads N] [--seed N] …
 //! ```
+//!
+//! Every command builds a [`nc_scenario::Scenario`] and runs it through
+//! [`nc_scenario::Engine`] — the same code path as the figure binaries
+//! — so the analysis, the Monte Carlo overlay, the Eq. (38) solver memo
+//! cache, and the telemetry artifacts behave identically everywhere.
+//! `run` executes a declarative scenario file (see
+//! `examples/scenarios/`).
 //!
 //! Units follow the paper: capacity in kb per 1 ms slot (= Mbps),
 //! delays in ms.
 
-use linksched::core::{MmooTandem, PathScheduler};
-use linksched::sim::{SchedulerKind, SimConfig, TandemSim};
-use linksched::traffic::Mmoo;
+use nc_scenario::{
+    Bound, CrossSweep, Engine, Experiment, RunOpts, Scenario, SimDefaults, Simulate,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -23,17 +31,25 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let opts = match Options::parse(&args[1..]) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
     match cmd.as_str() {
-        "bound" => cmd_bound(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "simulate" => cmd_simulate(&opts),
+        "bound" | "sweep" | "simulate" => {
+            let opts = match Options::parse(&args[1..]) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let scenario = match opts.scenario(cmd) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_engine(scenario, opts.run_opts())
+        }
+        "run" => cmd_run(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -45,6 +61,50 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_engine(scenario: Scenario, opts: RunOpts) -> ExitCode {
+    match Engine::new(scenario, opts).run() {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `linksched run <scenario.json> [engine flags]`: loads a scenario
+/// file and applies the shared engine options on top of its defaults.
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with('-')) else {
+        eprintln!(
+            "error: `run` needs a scenario file\n\nusage: linksched run <scenario.json> [options]\n{}",
+            nc_scenario::USAGE
+        );
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match Scenario::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match Engine::default_opts(&scenario).parse(args[1..].to_vec()) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    run_engine(scenario, opts)
+}
+
 const USAGE: &str = "\
 linksched — end-to-end delay bounds for link schedulers on long paths
 (reproduction of Liebeherr/Ghiassi-Farrokhfal/Burchard, ICDCS 2010)
@@ -53,6 +113,9 @@ USAGE:
     linksched bound    --hops H --through N0 --cross NC [options]
     linksched sweep    --hops H --through N0 [--cross-max NC] [options]
     linksched simulate --hops H --through N0 --cross NC [--slots N] [options]
+    linksched run      <scenario.json> [--reps N] [--threads N] [--seed N]
+                       [--slots N] [--metrics-out P] [--trace-out P]
+                       [--events-out P] [--manifest-out P] [--progress]
 
 OPTIONS:
     --capacity C       link capacity in Mbps (= kb/ms)          [default: 100]
@@ -63,8 +126,14 @@ OPTIONS:
                        the BMUX envelope for them)            [default: fifo]
     --slots N          simulated slots (simulate)               [default: 1000000]
     --seed X           RNG seed (simulate)                      [default: 1]
+    --reps N           Monte Carlo replications (simulate)      [default: 1]
+    --threads N        worker threads, 0 = auto (simulate)      [default: 0]
     --packet L         packet size in kb: non-preemptive packet mode (simulate)
     --cross-max NC     largest cross-flow count (sweep)         [default: 500]
+
+`run` executes a declarative scenario file (see examples/scenarios/)
+through the same engine as the figure binaries, including the solver
+memo cache and the telemetry artifact outputs.
 
 Traffic is the paper's Markov-modulated on-off source: 1.5 Mbps peak,
 ≈0.15 Mbps mean per flow.";
@@ -80,6 +149,8 @@ struct Options {
     sched: String,
     slots: u64,
     seed: u64,
+    reps: usize,
+    threads: usize,
     packet: Option<f64>,
 }
 
@@ -95,6 +166,8 @@ impl Options {
             sched: "fifo".into(),
             slots: 1_000_000,
             seed: 1,
+            reps: 1,
+            threads: 0,
             packet: None,
         };
         let mut it = args.iter();
@@ -111,6 +184,8 @@ impl Options {
                 "--sched" => o.sched = val()?,
                 "--slots" => o.slots = parse(&val()?, "slots")?,
                 "--seed" => o.seed = parse(&val()?, "seed")?,
+                "--reps" => o.reps = parse(&val()?, "reps")?,
+                "--threads" => o.threads = parse(&val()?, "threads")?,
                 "--packet" => o.packet = Some(parse(&val()?, "packet")?),
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -137,193 +212,60 @@ impl Options {
         if o.slots == 0 {
             return Err("`--slots` must be at least 1".into());
         }
+        if o.reps == 0 {
+            return Err("`--reps` must be at least 1".into());
+        }
         Ok(o)
     }
 
-    fn path_scheduler(&self) -> Result<PathScheduler, String> {
-        parse_sched(&self.sched).map(|(p, _)| p)
+    /// The scenario equivalent of this command line. The scheduler spec
+    /// is validated here so bad input fails before any table output.
+    fn scenario(&self, cmd: &str) -> Result<Scenario, String> {
+        nc_scenario::parse_sched(&self.sched)?;
+        let experiment = match cmd {
+            "bound" => Experiment::Bound(Bound {
+                hops: self.hops,
+                through: self.through,
+                cross: self.cross,
+                capacity: self.capacity,
+                epsilon: self.eps,
+                sched: self.sched.clone(),
+                packet: self.packet,
+            }),
+            "sweep" => Experiment::CrossSweep(CrossSweep {
+                hops: self.hops,
+                through: self.through,
+                cross_max: self.cross_max,
+                capacity: self.capacity,
+                epsilon: self.eps,
+            }),
+            "simulate" => Experiment::Simulate(Simulate {
+                hops: self.hops,
+                through: self.through,
+                cross: self.cross,
+                capacity: self.capacity,
+                capacities: None,
+                sched: self.sched.clone(),
+                packet: self.packet,
+            }),
+            other => return Err(format!("unknown command `{other}`")),
+        };
+        Ok(Scenario {
+            name: cmd.to_string(),
+            title: None,
+            experiment,
+            sim: SimDefaults { reps: self.reps, slots: self.slots, seed: Some(self.seed) },
+        })
     }
 
-    fn sim_scheduler(&self) -> Result<SchedulerKind, String> {
-        parse_sched(&self.sched).map(|(_, s)| s)
+    fn run_opts(&self) -> RunOpts {
+        let mut opts = RunOpts::new(self.reps, self.slots);
+        opts.seed = self.seed;
+        opts.threads = self.threads;
+        opts
     }
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("invalid value `{s}` for `{what}`"))
-}
-
-fn parse_sched(s: &str) -> Result<(PathScheduler, SchedulerKind), String> {
-    if let Some(rest) = s.strip_prefix("edf:") {
-        let (d0, dc) =
-            rest.split_once(',').ok_or_else(|| format!("edf needs `edf:<d0>,<dc>`, got `{s}`"))?;
-        let d0: f64 = parse(d0, "edf d0")?;
-        let dc: f64 = parse(dc, "edf dc")?;
-        return Ok((
-            PathScheduler::Edf { d_through: d0, d_cross: dc },
-            SchedulerKind::Edf { d_through: d0, d_cross: dc },
-        ));
-    }
-    if let Some(rest) = s.strip_prefix("gps:").or_else(|| s.strip_prefix("scfq:")) {
-        let (w0, wc) = rest.split_once(',').ok_or_else(|| {
-            format!("fair queueing needs `gps:<w0>,<wc>` or `scfq:<w0>,<wc>`, got `{s}`")
-        })?;
-        let w0: f64 = parse(w0, "through weight")?;
-        let wc: f64 = parse(wc, "cross weight")?;
-        if !(w0 > 0.0 && wc > 0.0) {
-            return Err("fair-queueing weights must be positive".into());
-        }
-        let kind = if s.starts_with("gps:") {
-            SchedulerKind::Gps { w_through: w0, w_cross: wc }
-        } else {
-            SchedulerKind::Scfq { w_through: w0, w_cross: wc }
-        };
-        // GPS/SCFQ are not Δ-schedulers: the only valid analytical bound
-        // is the blind-multiplexing envelope, which dominates every
-        // work-conserving locally-FIFO discipline.
-        return Ok((PathScheduler::Bmux, kind));
-    }
-    if let Some(v) = s.strip_prefix("delta:") {
-        let v: f64 = parse(v, "delta")?;
-        // The simulator needs a concrete mechanism; a Δ offset maps onto
-        // EDF deadlines with the same gap.
-        let (d0, dc) = if v >= 0.0 { (v, 0.0) } else { (0.0, -v) };
-        return Ok((PathScheduler::Delta(v), SchedulerKind::Edf { d_through: d0, d_cross: dc }));
-    }
-    match s {
-        "fifo" => Ok((PathScheduler::Fifo, SchedulerKind::Fifo)),
-        "bmux" => Ok((PathScheduler::Bmux, SchedulerKind::Bmux)),
-        "sp" => Ok((PathScheduler::ThroughPriority, SchedulerKind::ThroughPriority)),
-        other => Err(format!("unknown scheduler `{other}`")),
-    }
-}
-
-fn tandem(o: &Options, sched: PathScheduler) -> MmooTandem {
-    MmooTandem {
-        source: Mmoo::paper_source(),
-        n_through: o.through,
-        n_cross: o.cross,
-        capacity: o.capacity,
-        hops: o.hops,
-        scheduler: sched,
-    }
-}
-
-fn cmd_bound(o: &Options) -> ExitCode {
-    let sched = match o.path_scheduler() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let t = tandem(o, sched);
-    println!(
-        "H = {}, C = {} Mbps, N0 = {}, Nc = {} (U = {:.1}%), scheduler {}",
-        o.hops,
-        o.capacity,
-        o.through,
-        o.cross,
-        t.utilization() * 100.0,
-        sched
-    );
-    match t.delay_bound(o.eps) {
-        Some(b) => {
-            println!(
-                "P(W > {:.3} ms) < {:.0e}   [s = {:.4}, γ = {:.4}, σ = {:.1} kb]",
-                b.bound.delay, o.eps, b.s, b.bound.gamma, b.bound.sigma
-            );
-            if let Some(l) = o.packet {
-                let corrected =
-                    linksched::core::packetized_delay_bound(b.bound.delay, l, o.capacity, o.hops);
-                println!(
-                    "non-preemptive packets of {l} kb: P(W > {corrected:.3} ms) < {:.0e}",
-                    o.eps
-                );
-            }
-            ExitCode::SUCCESS
-        }
-        None => {
-            eprintln!("unstable: no finite delay bound at this load");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn cmd_sweep(o: &Options) -> ExitCode {
-    println!(
-        "# delay bounds [ms] vs cross flows (H = {}, N0 = {}, eps = {:.0e})",
-        o.hops, o.through, o.eps
-    );
-    println!("{:>6} {:>7} {:>10} {:>10} {:>10}", "Nc", "U[%]", "BMUX", "FIFO", "SP");
-    let steps = 10usize;
-    for i in 1..=steps {
-        let nc = o.cross_max * i / steps;
-        let mk = |s: PathScheduler| {
-            MmooTandem {
-                source: Mmoo::paper_source(),
-                n_through: o.through,
-                n_cross: nc,
-                capacity: o.capacity,
-                hops: o.hops,
-                scheduler: s,
-            }
-            .delay_bound(o.eps)
-            .map(|b| format!("{:10.2}", b.bound.delay))
-            .unwrap_or_else(|| format!("{:>10}", "-"))
-        };
-        let u = (o.through + nc) as f64 * Mmoo::paper_source().mean_rate() / o.capacity;
-        println!(
-            "{nc:>6} {:>7.1} {} {} {}",
-            u * 100.0,
-            mk(PathScheduler::Bmux),
-            mk(PathScheduler::Fifo),
-            mk(PathScheduler::ThroughPriority)
-        );
-    }
-    ExitCode::SUCCESS
-}
-
-fn cmd_simulate(o: &Options) -> ExitCode {
-    let sim_sched = match o.sim_scheduler() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let cfg = SimConfig {
-        capacity: o.capacity,
-        hops: o.hops,
-        n_through: o.through,
-        n_cross: o.cross,
-        source: Mmoo::paper_source(),
-        scheduler: sim_sched,
-        warmup: (o.slots / 100).max(1_000),
-        packet_size: o.packet,
-    };
-    println!(
-        "simulating {} slots: H = {}, C = {} Mbps, N0 = {}, Nc = {}, {:?}{}",
-        o.slots,
-        o.hops,
-        o.capacity,
-        o.through,
-        o.cross,
-        sim_sched,
-        o.packet.map(|l| format!(", packets of {l} kb")).unwrap_or_default()
-    );
-    let mut stats = TandemSim::new(cfg, o.seed).run(o.slots);
-    if stats.is_empty() {
-        eprintln!("no samples recorded (all within warm-up?)");
-        return ExitCode::FAILURE;
-    }
-    println!("samples: {}", stats.len());
-    println!("mean:    {:>8.2} ms", stats.mean().unwrap_or(f64::NAN));
-    for q in [0.5, 0.9, 0.99, 0.999, 0.9999] {
-        if let Some(v) = stats.quantile(q) {
-            println!("q{:<6} {:>8.2} ms", format!("{:.4}", q), v);
-        }
-    }
-    println!("max:     {:>8.2} ms", stats.max().unwrap_or(f64::NAN));
-    ExitCode::SUCCESS
 }

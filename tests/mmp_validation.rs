@@ -53,7 +53,7 @@ fn simulate_tandem_mmp(
                 node.enqueue(Chunk { class: 1, bits: ac, entry: t, node_arrival: t });
             }
             let last = h + 1 == hops;
-            for mut c in node.serve_slot(t) {
+            for mut c in node.serve_slot_vec(t) {
                 if c.class != 0 {
                     continue;
                 }

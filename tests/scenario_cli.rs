@@ -1,0 +1,184 @@
+//! End-to-end checks of `linksched run`: the shipped small scenarios
+//! reproduce their golden stdout, the telemetry artifacts parse, and
+//! the solver memo cache actually fires on a sweep.
+//!
+//! The full-size figure scenarios have their own `#[ignore]`d golden
+//! tests in `crates/bench/tests/golden.rs` (release CI step); the CI
+//! scenarios job additionally runs every shipped scenario file.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run(args: &[&str]) -> Output {
+    let out = Command::new(env!("CARGO_BIN_EXE_linksched")).args(args).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "linksched {args:?} failed ({:?}): {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn run_scenario(name: &str, extra: &[&str]) -> String {
+    let mut args = vec!["run".to_string(), repo_path(&format!("examples/scenarios/{name}"))];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    String::from_utf8(run(&refs).stdout).expect("stdout is UTF-8")
+}
+
+fn assert_matches_golden(scenario: &str, golden: &str) {
+    let expected = std::fs::read_to_string(repo_path(golden)).expect("golden file");
+    let actual = run_scenario(scenario, &[]);
+    assert_eq!(expected, actual, "`linksched run {scenario}` diverged from {golden}");
+}
+
+/// A unique scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("linksched-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+
+    fn read(&self, name: &str) -> String {
+        std::fs::read_to_string(self.0.join(name)).unwrap_or_else(|e| panic!("read {name}: {e}"))
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn small_sweep_matches_golden() {
+    assert_matches_golden("sweep_small.json", "tests/golden/small/sweep_small.txt");
+}
+
+#[test]
+fn bound_demo_matches_golden() {
+    assert_matches_golden("bound_demo.json", "tests/golden/small/bound_demo.txt");
+}
+
+#[test]
+fn hetero_simulation_matches_golden() {
+    assert_matches_golden("simulate_hetero.json", "tests/golden/small/simulate_hetero.txt");
+}
+
+#[test]
+fn run_rejects_missing_and_malformed_scenarios() {
+    let out = Command::new(env!("CARGO_BIN_EXE_linksched"))
+        .args(["run", "/nonexistent/scenario.json"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let scratch = Scratch::new("badjson");
+    let bad = scratch.path("bad.json");
+    std::fs::write(&bad, "{\"name\": \"x\", \"experiment\": \"no-such\"}").unwrap();
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_linksched")).args(["run", &bad]).output().expect("spawn");
+    assert!(!out.status.success());
+}
+
+/// The sweep scenario has FIFO and EDF columns over the same grid; the
+/// EDF fixed point re-solves the FIFO instances, so the memo cache must
+/// report hits — surfaced through the metrics artifact.
+#[cfg(feature = "telemetry")]
+#[test]
+fn sweep_scenario_artifacts_parse_and_cache_hits() {
+    let scratch = Scratch::new("artifacts");
+    let metrics = scratch.path("metrics.prom");
+    let manifest = scratch.path("manifest.json");
+    run_scenario("sweep_small.json", &["--metrics-out", &metrics, "--manifest-out", &manifest]);
+
+    let manifest_text = scratch.read("manifest.json");
+    nc_telemetry::json::validate(&manifest_text).expect("manifest is valid JSON");
+    assert!(manifest_text.contains("\"binary\": \"sweep_small\""), "manifest names the scenario");
+
+    let metrics_text = scratch.read("metrics.prom");
+    let hits = prom_counter(&metrics_text, "core_solver_cache_hits_total")
+        .expect("metrics export the solver-cache hit counter");
+    assert!(hits > 0.0, "utilization sweep must hit the solver memo cache, got {hits}");
+    let misses = prom_counter(&metrics_text, "core_solver_cache_misses_total").unwrap_or(0.0);
+    assert!(misses > 0.0, "first-touch solves must be counted as misses");
+}
+
+#[cfg(feature = "telemetry")]
+fn prom_counter(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| l.strip_prefix(name))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// `linksched simulate` fans replications across threads through the
+/// same Monte Carlo engine as the bench binaries; stdout (and thus the
+/// merged statistics) must be bitwise identical for any thread count.
+#[test]
+fn simulate_is_deterministic_across_thread_counts() {
+    let base = [
+        "simulate",
+        "--hops",
+        "2",
+        "--through",
+        "30",
+        "--cross",
+        "50",
+        "--capacity",
+        "15",
+        "--slots",
+        "8000",
+        "--reps",
+        "8",
+        "--seed",
+        "42",
+    ];
+    let reference = run(&with_threads(&base, "1")).stdout;
+    for threads in ["2", "8"] {
+        let out = run(&with_threads(&base, threads)).stdout;
+        assert_eq!(
+            String::from_utf8_lossy(&reference),
+            String::from_utf8_lossy(&out),
+            "simulate output changed between --threads 1 and --threads {threads}"
+        );
+    }
+}
+
+fn with_threads<'a>(base: &[&'a str], threads: &'a str) -> Vec<&'a str> {
+    let mut v = base.to_vec();
+    v.push("--threads");
+    v.push(threads);
+    v
+}
+
+/// Scenario files shipped in the repository must all parse (full runs
+/// of the figure-size ones are covered by the golden tests and CI).
+#[test]
+fn every_shipped_scenario_parses() {
+    let dir = repo_path("examples/scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(Path::new(&dir)).expect("examples/scenarios exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let text = std::fs::read_to_string(&path).expect("read scenario");
+            nc_scenario::Scenario::from_json(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            seen += 1;
+        }
+    }
+    assert!(seen >= 8, "expected the shipped scenario set, found {seen}");
+}
