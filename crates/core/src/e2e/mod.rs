@@ -26,6 +26,7 @@ pub mod optimizer;
 pub mod source_tandem;
 
 use crate::delta::PathScheduler;
+use crate::Error;
 use nc_telemetry as tel;
 use nc_traffic::{Ebb, Mmoo};
 use optimizer::NodeParams;
@@ -258,6 +259,30 @@ impl TandemPath {
         best
     }
 
+    /// Guard-railed variant of [`TandemPath::delay_bound`]: reports a
+    /// bad `epsilon` as [`Error::InvalidInput`] instead of panicking,
+    /// an unstable or unsolvable path as [`Error::Infeasible`], and a
+    /// NaN/∞ bound as [`Error::NonFinite`] — so callers (the scenario
+    /// engine, the CLI) can map each cause onto a distinct exit code.
+    pub fn try_delay_bound(&self, epsilon: f64) -> Result<E2eDelayBound, Error> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(Error::InvalidInput(format!(
+                "delay_bound: epsilon must be in (0, 1), got {epsilon}"
+            )));
+        }
+        if !self.is_stable() {
+            return Err(Error::Infeasible);
+        }
+        match self.delay_bound(epsilon) {
+            Some(b) if b.delay.is_finite() => Ok(b),
+            Some(b) => Err(Error::NonFinite(format!(
+                "delay bound evaluated to {} (C = {}, H = {})",
+                b.delay, self.capacity, self.hops
+            ))),
+            None => Err(Error::Infeasible),
+        }
+    }
+
     /// Delay bound under the paper's EDF deadline convention, which is
     /// *self-referential*: per-node deadlines are set from the computed
     /// end-to-end bound itself, `d*_0 = d^{e2e}/H` and
@@ -385,6 +410,25 @@ impl MmooTandem {
             .map(|b| MmooDelayBound { bound: b.bound, s: b.s })
     }
 
+    /// Guard-railed variant of [`MmooTandem::delay_bound`] — same error
+    /// contract as [`TandemPath::try_delay_bound`].
+    pub fn try_delay_bound(&self, epsilon: f64) -> Result<MmooDelayBound, Error> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(Error::InvalidInput(format!(
+                "delay_bound: epsilon must be in (0, 1), got {epsilon}"
+            )));
+        }
+        match self.delay_bound(epsilon) {
+            Some(b) if b.bound.delay.is_finite() => Ok(b),
+            Some(b) => Err(Error::NonFinite(format!(
+                "delay bound evaluated to {} (U = {:.3})",
+                b.bound.delay,
+                self.utilization()
+            ))),
+            None => Err(Error::Infeasible),
+        }
+    }
+
     /// EDF fixed-point bound (see
     /// [`TandemPath::edf_delay_bound_fixed_point`]), optimized over `s`.
     /// Returns the bound, the achieving `s`, and the converged per-node
@@ -403,5 +447,52 @@ impl MmooTandem {
     /// over `s` (and internally over `γ`).
     pub fn additive_bmux_delay(&self, epsilon: f64) -> Option<f64> {
         self.as_source_tandem().additive_bmux_delay(epsilon)
+    }
+}
+
+#[cfg(test)]
+mod try_bound_tests {
+    use super::*;
+
+    fn tandem(n_flows: usize) -> MmooTandem {
+        MmooTandem {
+            source: Mmoo::paper_source(),
+            n_through: n_flows,
+            n_cross: n_flows,
+            capacity: 100.0,
+            hops: 3,
+            scheduler: PathScheduler::Fifo,
+        }
+    }
+
+    #[test]
+    fn try_delay_bound_matches_panicking_api_when_ok() {
+        let t = tandem(100);
+        let want = t.delay_bound(1e-6).unwrap().bound.delay;
+        let got = t.try_delay_bound(1e-6).unwrap().bound.delay;
+        assert_eq!(want.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn try_delay_bound_rejects_bad_epsilon_as_value() {
+        for eps in [0.0, 1.0, -0.5, f64::NAN, 2.0] {
+            assert!(matches!(tandem(100).try_delay_bound(eps), Err(Error::InvalidInput(_))));
+        }
+    }
+
+    #[test]
+    fn try_delay_bound_reports_overload_as_infeasible() {
+        // 4000 + 4000 flows at mean ≈ 0.174 kb/ms each on C = 100
+        // overloads the link: no finite bound at any moment parameter.
+        assert_eq!(tandem(4000).try_delay_bound(1e-6), Err(Error::Infeasible));
+    }
+
+    #[test]
+    fn tandem_path_try_delay_bound_flags_instability() {
+        let src = Mmoo::paper_source();
+        let path =
+            TandemPath::new(10.0, 3, src.ebb(0.05, 100), src.ebb(0.05, 100), PathScheduler::Fifo);
+        assert!(!path.is_stable());
+        assert_eq!(path.try_delay_bound(1e-6), Err(Error::Infeasible));
     }
 }

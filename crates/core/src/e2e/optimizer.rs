@@ -19,6 +19,7 @@
 //!   verify both solvers agree to within a fraction of a percent in the
 //!   paper's regimes, with `solve` never worse.
 
+use crate::Error;
 use nc_telemetry as tel;
 
 /// Per-node constraint parameters of the optimization.
@@ -123,6 +124,146 @@ pub fn solve(params: &[NodeParams], sigma: f64) -> Option<Solution> {
         tel::counter("core_solver_infeasible_total", 1);
     }
     out
+}
+
+/// Guard-railed variant of [`solve`]: validates inputs instead of
+/// asserting, distinguishes *infeasible* from *invalid*, and — when the
+/// grid solver's `X` range overflows (so [`solve`] would falsely report
+/// infeasibility) — falls back to an iteration-capped bracketing +
+/// golden-section search over the convex objective `d(X) = X + Σθ_h(X)`.
+///
+/// Every outcome is reported through telemetry:
+/// `core_solver_path_grid_total` (grid succeeded),
+/// `core_solver_fallback_bisection_total` (fallback rescued the call),
+/// `core_solver_nonfinite_total` (both paths failed to produce a finite
+/// bound).
+pub fn try_solve(params: &[NodeParams], sigma: f64) -> Result<Solution, Error> {
+    tel::counter("core_try_solve_calls_total", 1);
+    if params.is_empty() {
+        return Err(Error::InvalidInput("try_solve: need at least one node".into()));
+    }
+    if !sigma.is_finite() || sigma < 0.0 {
+        return Err(Error::InvalidInput(format!(
+            "try_solve: sigma must be finite and non-negative, got {sigma}"
+        )));
+    }
+    for (i, p) in params.iter().enumerate() {
+        if !p.c_eff.is_finite() || !p.r.is_finite() || p.r < 0.0 {
+            return Err(Error::InvalidInput(format!(
+                "try_solve: node {} has non-finite rates (c_eff = {}, r = {})",
+                i + 1,
+                p.c_eff,
+                p.r
+            )));
+        }
+        if p.delta.is_nan() {
+            return Err(Error::InvalidInput(format!("try_solve: node {} has NaN delta", i + 1)));
+        }
+    }
+    // Feasibility (same test as `solve`, but reported as a value): a
+    // node with no capacity, or with interfering cross traffic at least
+    // as fast as its service, can never satisfy its constraint.
+    for p in params {
+        if p.c_eff <= 0.0 || (p.delta > f64::NEG_INFINITY && p.c_eff <= p.r) {
+            tel::counter("core_solver_infeasible_total", 1);
+            return Err(Error::Infeasible);
+        }
+    }
+    let _timer = tel::timer("core_solver_seconds");
+    if let Some(sol) = solve_inner(params, sigma) {
+        if sol.delay.is_finite() && sol.thetas.iter().all(|t| t.is_finite()) {
+            tel::counter("core_solver_path_grid_total", 1);
+            return Ok(sol);
+        }
+    }
+    // The grid solver bailed even though the problem is feasible — its
+    // `x_max = σ/min-margin` overflowed on a subnormal margin, or the
+    // objective went non-finite somewhere on the grid. Rescue with a
+    // direct 1-D search that never touches the overflowing quantity.
+    let sol = fallback_solve(params, sigma)?;
+    tel::counter("core_solver_fallback_bisection_total", 1);
+    Ok(sol)
+}
+
+/// Iteration caps for the fallback search. 1100 doublings from 1 cover
+/// the entire f64 exponent range; 200 golden-section steps shrink any
+/// bracket below representable resolution.
+const FALLBACK_BRACKET_CAP: u32 = 1100;
+const FALLBACK_GOLDEN_CAP: u32 = 200;
+
+/// Bracketing + golden-section minimization of the convex piecewise-
+/// linear objective `d(X)`, with NaN/∞ detection at every step.
+fn fallback_solve(params: &[NodeParams], sigma: f64) -> Result<Solution, Error> {
+    let d = |x: f64| objective(x, params, sigma).0;
+    // Grow `hi` until d is finite there and no longer decreasing, i.e.
+    // the minimum lies in [0, hi]. Since θ_h ≥ 0 gives d(X) ≥ X, the
+    // objective must eventually rise, so the loop terminates unless d
+    // is non-finite everywhere we look.
+    let mut hi = 1.0f64;
+    let mut bracketed = false;
+    for _ in 0..FALLBACK_BRACKET_CAP {
+        let dh = d(hi);
+        let dm = d(hi / 2.0);
+        if dh.is_finite() && dm.is_finite() && dh >= dm {
+            bracketed = true;
+            break;
+        }
+        hi *= 2.0;
+        if !hi.is_finite() {
+            break;
+        }
+    }
+    if !bracketed {
+        tel::counter("core_solver_nonfinite_total", 1);
+        return Err(Error::NonFinite(
+            "objective stayed NaN/∞ over the entire bracketing range".into(),
+        ));
+    }
+    // Golden-section search on [0, hi]. Convexity makes d unimodal (up
+    // to flat stretches, where every point is optimal), so the search
+    // converges to a global minimizer.
+    let inv_phi = 0.618_033_988_749_894_9_f64;
+    let (mut lo, mut hi) = (0.0f64, hi);
+    let mut a = hi - inv_phi * (hi - lo);
+    let mut b = lo + inv_phi * (hi - lo);
+    let (mut da, mut db) = (d(a), d(b));
+    for _ in 0..FALLBACK_GOLDEN_CAP {
+        if hi - lo <= f64::EPSILON * hi.max(1.0) {
+            break;
+        }
+        // Treat a non-finite probe as "worse": shrink toward the other.
+        if !(da.is_finite()) || (db.is_finite() && db < da) {
+            lo = a;
+            a = b;
+            da = db;
+            b = lo + inv_phi * (hi - lo);
+            db = d(b);
+        } else {
+            hi = b;
+            b = a;
+            db = da;
+            a = hi - inv_phi * (hi - lo);
+            da = d(a);
+        }
+    }
+    // Pick the best among the surviving probes and the left endpoint
+    // (the minimum of a convex d with d'(0⁺) ≥ 0 sits exactly at 0).
+    let mut best_x = 0.0;
+    let mut best_d = f64::INFINITY;
+    for (x, dx) in [(0.0, d(0.0)), (a, da), (b, db), (lo, d(lo)), (hi, d(hi))] {
+        if dx.is_finite() && dx < best_d {
+            best_x = x;
+            best_d = dx;
+        }
+    }
+    if !best_d.is_finite() {
+        tel::counter("core_solver_nonfinite_total", 1);
+        return Err(Error::NonFinite(format!(
+            "fallback search found no finite objective value (best d({best_x}) = {best_d})"
+        )));
+    }
+    let (delay, thetas) = objective(best_x, params, sigma);
+    Ok(Solution { x: best_x, thetas, delay })
 }
 
 fn solve_inner(params: &[NodeParams], sigma: f64) -> Option<Solution> {
@@ -491,6 +632,79 @@ mod tests {
     fn infeasible_when_cross_rate_exceeds_capacity() {
         let params = homogeneous(100.0, 0.2, 101.0, 0.0, 3);
         assert_eq!(solve(&params, 10.0), None);
+    }
+
+    #[test]
+    fn try_solve_agrees_with_solve_on_well_posed_inputs() {
+        let (c, rc) = (100.0, 40.0);
+        let sigma = 300.0;
+        for h in [1usize, 5, 12] {
+            for delta in [f64::NEG_INFINITY, -4.0, 0.0, 2.0, f64::INFINITY] {
+                let params = homogeneous(c, 0.2, rc, delta, h);
+                let want = solve(&params, sigma).unwrap().delay;
+                let got = try_solve(&params, sigma).unwrap().delay;
+                assert!((got - want).abs() <= 1e-9 * want.max(1.0), "{got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_solve_rejects_invalid_inputs_as_values() {
+        let p = NodeParams { c_eff: 10.0, r: 4.0, delta: 0.0 };
+        assert!(matches!(try_solve(&[], 1.0), Err(Error::InvalidInput(_))));
+        assert!(matches!(try_solve(&[p], -1.0), Err(Error::InvalidInput(_))));
+        assert!(matches!(try_solve(&[p], f64::NAN), Err(Error::InvalidInput(_))));
+        let nan = NodeParams { c_eff: f64::NAN, r: 4.0, delta: 0.0 };
+        assert!(matches!(try_solve(&[nan], 1.0), Err(Error::InvalidInput(_))));
+        let nan_delta = NodeParams { c_eff: 10.0, r: 4.0, delta: f64::NAN };
+        assert!(matches!(try_solve(&[nan_delta], 1.0), Err(Error::InvalidInput(_))));
+    }
+
+    #[test]
+    fn try_solve_reports_infeasibility() {
+        let params = homogeneous(100.0, 0.2, 101.0, 0.0, 3);
+        assert_eq!(try_solve(&params, 10.0), Err(Error::Infeasible));
+    }
+
+    #[test]
+    fn try_solve_fallback_rescues_margin_overflow() {
+        // The service margin c_eff − r is the smallest representable
+        // gap below 10 (~1.8e-15) while σ is huge, so the grid solver's
+        // x_max = σ/margin overflows to ∞ and `solve` falsely reports
+        // infeasibility. The problem is perfectly feasible: with Δ = −5
+        // the cross term vanishes for X < 5, so d(0) = σ/c_eff is both
+        // feasible and optimal.
+        let r = f64::from_bits(10.0f64.to_bits() - 1); // nextafter(10, -∞)
+        let p = NodeParams { c_eff: 10.0, r, delta: -5.0 };
+        assert!(p.c_eff > p.r, "margin must be positive for the case to be feasible");
+        let sigma = 1e300;
+        assert!(!(sigma / (p.c_eff - p.r)).is_finite(), "x_max must overflow");
+        assert_eq!(solve(&[p], sigma), None, "grid solver is expected to bail here");
+        let sol = try_solve(&[p], sigma).expect("fallback must rescue this");
+        let want = sigma / p.c_eff;
+        assert!(
+            (sol.delay - want).abs() <= 1e-9 * want,
+            "fallback delay {} should be σ/c_eff = {want}",
+            sol.delay
+        );
+        // The rescued solution still satisfies the node constraint.
+        let th = sol.thetas[0];
+        let lhs = p.c_eff * (sol.x + th) - p.r * (sol.x + p.delta.min(th)).max(0.0);
+        assert!(lhs >= sigma * (1.0 - 1e-9), "rescued solution infeasible: lhs = {lhs}");
+    }
+
+    #[test]
+    fn try_solve_fallback_matches_grid_when_both_work() {
+        // Sanity: force the fallback path on a well-posed instance and
+        // check it lands on (essentially) the grid optimum.
+        let params = homogeneous(100.0, 0.2, 40.0, 0.0, 5);
+        let sigma = 400.0;
+        let grid = solve(&params, sigma).unwrap().delay;
+        let fb = fallback_solve(&params, sigma).unwrap().delay;
+        assert!(
+            fb <= grid * (1.0 + 1e-6) + 1e-9,
+            "fallback {fb} worse than grid {grid} on a convex objective"
+        );
     }
 
     #[test]

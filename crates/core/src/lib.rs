@@ -52,10 +52,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod admission;
 mod delta;
 pub mod e2e;
+mod error;
 mod memo;
 mod packet;
 pub mod scaling;
@@ -69,6 +72,7 @@ pub use e2e::hetero::{HeteroNode, HeteroPath};
 pub use e2e::{
     E2eDelayBound, MmooDelayBound, MmooTandem, SourceDelayBound, SourceTandem, TandemPath,
 };
+pub use error::Error;
 pub use memo::{enable_solver_cache, solver_cache_stats, SolverCacheGuard, SolverCacheStats};
 pub use packet::{packetization_penalty, packetize_service, packetized_delay_bound};
 pub use schedulability::{

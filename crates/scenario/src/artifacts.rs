@@ -45,7 +45,8 @@ impl RunArtifacts {
     }
 
     /// Writes all requested artifacts, exiting with an error message if
-    /// a file cannot be written.
+    /// a file cannot be written. Prefer [`RunArtifacts::try_finish`],
+    /// which reports the failure as a value.
     pub fn finish(self) {
         if let Err(e) = self.try_finish() {
             eprintln!("error: cannot write telemetry artifacts: {e}");
@@ -53,7 +54,9 @@ impl RunArtifacts {
         }
     }
 
-    fn try_finish(&self) -> std::io::Result<()> {
+    /// Writes all requested artifacts (atomically, via temp + rename in
+    /// the telemetry exporter), surfacing write failures as values.
+    pub fn try_finish(&self) -> std::io::Result<()> {
         if !self.opts.wants_artifacts() {
             return Ok(());
         }
@@ -116,7 +119,8 @@ pub fn overlay_report(
         warmup: 5_000,
         packet_size: None,
     };
-    let report = opts.monte_carlo(&[]).run(cfg);
+    let cell = format!("overlay-h{hops}-n{n_through}-c{n_cross}");
+    let report = opts.monte_carlo_cell(&[], &cell).run(cfg);
     tel::merge_global(&report.metrics);
     report
 }

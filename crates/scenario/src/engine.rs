@@ -3,6 +3,7 @@
 //! telemetry artifacts.
 
 use crate::artifacts::RunArtifacts;
+use crate::error::Error;
 use crate::experiments;
 use crate::model::{Experiment, Scenario};
 use crate::opts::RunOpts;
@@ -37,7 +38,9 @@ impl Engine {
     }
 
     /// The scenario's default options: `sim.reps`/`sim.slots`/`sim.seed`
-    /// from the file, `--json` accepted only by validation scenarios.
+    /// from the file, the scenario's fault plan and name (the checkpoint
+    /// workload fingerprint), `--json` accepted only by validation
+    /// scenarios.
     pub fn default_opts(scenario: &Scenario) -> RunOpts {
         let mut opts = RunOpts::new(scenario.sim.reps, scenario.sim.slots);
         if let Some(seed) = scenario.sim.seed {
@@ -46,6 +49,8 @@ impl Engine {
         if matches!(scenario.experiment, Experiment::Validate(_)) {
             opts = opts.with_json();
         }
+        opts.faults = scenario.faults.clone();
+        opts.workload = scenario.name.clone();
         opts
     }
 
@@ -65,8 +70,13 @@ impl Engine {
     ///
     /// Analysis results are bitwise-independent of the cache, the
     /// thread count, and the telemetry feature; stdout is therefore
-    /// reproducible byte for byte for a fixed scenario + options.
-    pub fn run(self) -> Result<RunSummary, String> {
+    /// reproducible byte for byte for a fixed scenario + options —
+    /// including runs resumed from a checkpoint.
+    ///
+    /// Failures surface as the typed [`Error`] taxonomy, so callers can
+    /// map a bad fault plan, a checkpoint mismatch, a runtime failure,
+    /// and an infeasible analysis onto distinct exit codes.
+    pub fn run(self) -> Result<RunSummary, Error> {
         let artifacts = RunArtifacts::begin(&self.scenario.name, &self.opts);
         let cache_before = nc_core::solver_cache_stats();
         let guard = nc_core::enable_solver_cache();
@@ -87,7 +97,8 @@ impl Engine {
                 None
             }
             Experiment::Validate(p) => {
-                experiments::validate::run(p, &self.opts, &self.scenario.name)?;
+                experiments::validate::run(p, &self.opts, &self.scenario.name)
+                    .map_err(Error::Runtime)?;
                 None
             }
             Experiment::Ablation => {
@@ -103,10 +114,16 @@ impl Engine {
                 None
             }
             Experiment::Simulate(p) => Some(experiments::cli::simulate(p, &self.opts)?),
+            Experiment::Faulted(p) => {
+                experiments::faulted::run(p, &self.opts)?;
+                None
+            }
         };
         drop(guard);
         let cache_after = nc_core::solver_cache_stats();
-        artifacts.finish();
+        artifacts
+            .try_finish()
+            .map_err(|e| Error::Runtime(format!("cannot write telemetry artifacts: {e}")))?;
         Ok(RunSummary {
             delay_stats,
             cache: SolverCacheStats {

@@ -158,11 +158,11 @@ fn ablation_engine(opts: &RunOpts) {
     };
     // (a) Wall-clock vs thread count; merged statistics must be
     // bitwise-identical across runs.
-    let seq = opts.monte_carlo(&[]).threads(1);
+    let seq = opts.monte_carlo_cell(&[], "engine-seq").threads(1);
     let t0 = Instant::now();
     let mut merged_seq = seq.run(cfg);
     let t_seq = t0.elapsed();
-    let par = opts.monte_carlo(&[]);
+    let par = opts.monte_carlo_cell(&[], "engine-par");
     let workers = par.effective_threads();
     let t1 = Instant::now();
     let mut merged_par = par.run(cfg);

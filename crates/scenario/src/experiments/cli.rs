@@ -2,16 +2,17 @@
 //! tandem simulations (the scenario forms of `linksched
 //! bound`/`sweep`/`simulate`).
 
+use crate::error::Error;
 use crate::model::{Bound, CrossSweep, Simulate};
 use crate::opts::RunOpts;
 use crate::parse_sched;
 use nc_core::MmooTandem;
 use nc_core::PathScheduler;
-use nc_sim::{DelayStats, MonteCarlo, SimConfig, TandemSim};
+use nc_sim::{DelayStats, SimConfig, TandemSim};
 use nc_traffic::Mmoo;
 
-pub(crate) fn bound(p: &Bound) -> Result<(), String> {
-    let (sched, _) = parse_sched(&p.sched)?;
+pub(crate) fn bound(p: &Bound) -> Result<(), Error> {
+    let (sched, _) = parse_sched(&p.sched).map_err(Error::Runtime)?;
     let t = MmooTandem {
         source: Mmoo::paper_source(),
         n_through: p.through,
@@ -29,24 +30,18 @@ pub(crate) fn bound(p: &Bound) -> Result<(), String> {
         t.utilization() * 100.0,
         sched
     );
-    match t.delay_bound(p.epsilon) {
-        Some(b) => {
-            println!(
-                "P(W > {:.3} ms) < {:.0e}   [s = {:.4}, γ = {:.4}, σ = {:.1} kb]",
-                b.bound.delay, p.epsilon, b.s, b.bound.gamma, b.bound.sigma
-            );
-            if let Some(l) = p.packet {
-                let corrected =
-                    nc_core::packetized_delay_bound(b.bound.delay, l, p.capacity, p.hops);
-                println!(
-                    "non-preemptive packets of {l} kb: P(W > {corrected:.3} ms) < {:.0e}",
-                    p.epsilon
-                );
-            }
-            Ok(())
-        }
-        None => Err("unstable: no finite delay bound at this load".to_string()),
+    // try_delay_bound distinguishes an unstable/infeasible tandem (exit
+    // code 7) from invalid inputs (exit code 4).
+    let b = t.try_delay_bound(p.epsilon)?;
+    println!(
+        "P(W > {:.3} ms) < {:.0e}   [s = {:.4}, γ = {:.4}, σ = {:.1} kb]",
+        b.bound.delay, p.epsilon, b.s, b.bound.gamma, b.bound.sigma
+    );
+    if let Some(l) = p.packet {
+        let corrected = nc_core::packetized_delay_bound(b.bound.delay, l, p.capacity, p.hops);
+        println!("non-preemptive packets of {l} kb: P(W > {corrected:.3} ms) < {:.0e}", p.epsilon);
     }
+    Ok(())
 }
 
 pub(crate) fn cross_sweep(p: &CrossSweep) {
@@ -82,8 +77,8 @@ pub(crate) fn cross_sweep(p: &CrossSweep) {
     }
 }
 
-pub(crate) fn simulate(p: &Simulate, opts: &RunOpts) -> Result<DelayStats, String> {
-    let (_, sim_sched) = parse_sched(&p.sched)?;
+pub(crate) fn simulate(p: &Simulate, opts: &RunOpts) -> Result<DelayStats, Error> {
+    let (_, sim_sched) = parse_sched(&p.sched).map_err(Error::Runtime)?;
     let cfg = SimConfig {
         capacity: p.capacity,
         hops: p.hops,
@@ -94,6 +89,11 @@ pub(crate) fn simulate(p: &Simulate, opts: &RunOpts) -> Result<DelayStats, Strin
         warmup: (opts.slots / 100).max(1_000),
         packet_size: p.packet,
     };
+    // Fail fast on a fault plan that cannot fit this path, before any
+    // table output.
+    if let Some(plan) = &opts.faults {
+        plan.check_hops(p.hops)?;
+    }
     let capacity_note = match &p.capacities {
         Some(caps) => format!(
             "C = [{}] Mbps",
@@ -102,38 +102,57 @@ pub(crate) fn simulate(p: &Simulate, opts: &RunOpts) -> Result<DelayStats, Strin
         None => format!("C = {} Mbps", p.capacity),
     };
     println!(
-        "simulating {} slots: H = {}, {capacity_note}, N0 = {}, Nc = {}, {:?}{}{}",
+        "simulating {} slots: H = {}, {capacity_note}, N0 = {}, Nc = {}, {:?}{}{}{}",
         opts.slots,
         p.hops,
         p.through,
         p.cross,
         sim_sched,
         p.packet.map(|l| format!(", packets of {l} kb")).unwrap_or_default(),
-        if opts.reps > 1 { format!(", {} reps", opts.reps) } else { String::new() }
+        if opts.reps > 1 { format!(", {} reps", opts.reps) } else { String::new() },
+        if opts.faults.is_some() { ", faulted links" } else { "" }
     );
     let mut stats = if opts.reps > 1 {
         // Replicated run through the Monte Carlo engine: per-rep seeds
-        // derive from the master seed, and the merge is
-        // bitwise-identical for every thread count.
-        let mc = MonteCarlo::new(opts.reps, opts.slots, opts.seed)
-            .threads(opts.threads)
-            .progress(opts.progress)
-            .collect_metrics(opts.wants_metrics());
+        // derive from the master seed, the merge is bitwise-identical
+        // for every thread count, and fault injection / checkpointing /
+        // resume follow the options.
+        let mc = opts.monte_carlo_exact();
         let report = match &p.capacities {
-            None => mc.run(cfg),
+            None => mc.try_run(cfg)?,
             Some(caps) => {
-                mc.run_with(|_, seed| TandemSim::with_capacities(cfg, caps, seed).run(opts.slots))
+                let faults = opts.faults.as_ref();
+                let collect = opts.wants_metrics();
+                mc.try_run_instrumented(|_, seed| {
+                    let mut sim = TandemSim::with_capacities_and_faults(cfg, caps, faults, seed)
+                        .expect("fault plan validated against cfg.hops above");
+                    if collect {
+                        sim.enable_telemetry();
+                    }
+                    let stats = sim.run(opts.slots);
+                    let metrics =
+                        if collect { sim.metrics() } else { nc_telemetry::MetricSet::new() };
+                    (stats, metrics)
+                })?
             }
         };
+        if report.panicked > 0 {
+            eprintln!("warning: {} replication(s) panicked and were excluded", report.panicked);
+        }
+        if report.resumed > 0 {
+            eprintln!("resumed {} finished replication(s) from checkpoint", report.resumed);
+        }
         nc_telemetry::merge_global(&report.metrics);
         report.merged
     } else {
         // Single replication: the seed is used directly, matching the
-        // historical `linksched simulate` behaviour.
-        let mut sim = match &p.capacities {
-            None => TandemSim::new(cfg, opts.seed),
-            Some(caps) => TandemSim::with_capacities(cfg, caps, opts.seed),
-        };
+        // historical `linksched simulate` behaviour. (Checkpointing is
+        // per finished replication, so a 1-rep run has nothing to
+        // checkpoint.)
+        let uniform = vec![p.capacity; p.hops];
+        let caps = p.capacities.as_deref().unwrap_or(&uniform);
+        let mut sim =
+            TandemSim::with_capacities_and_faults(cfg, caps, opts.faults.as_ref(), opts.seed)?;
         if opts.wants_metrics() {
             sim.enable_telemetry();
         }
@@ -144,7 +163,7 @@ pub(crate) fn simulate(p: &Simulate, opts: &RunOpts) -> Result<DelayStats, Strin
         stats
     };
     if stats.is_empty() {
-        return Err("no samples recorded (all within warm-up?)".to_string());
+        return Err(Error::Runtime("no samples recorded (all within warm-up?)".into()));
     }
     println!("samples: {}", stats.len());
     println!("mean:    {:>8.2} ms", stats.mean().unwrap_or(f64::NAN));

@@ -4,6 +4,7 @@
 
 pub(crate) mod ablation;
 pub(crate) mod cli;
+pub(crate) mod faulted;
 pub(crate) mod mix_sweep;
 pub(crate) mod path_sweep;
 pub(crate) mod utilization_sweep;

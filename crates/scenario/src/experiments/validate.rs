@@ -61,6 +61,7 @@ pub(crate) fn run(p: &Validate, opts: &RunOpts, name: &str) -> Result<(), String
                     opts,
                     cfg(capacity, hops, n_through, n_cross, sim_sched, source),
                     bmux_bound,
+                    &format!("h{hops}-n{n_through}-c{n_cross}-{}", case.label),
                 );
                 let q = report.merged.quantile(1.0 - eps).unwrap_or(f64::NAN);
                 let q_spread = report.quantile_spread(1.0 - eps);
@@ -101,8 +102,12 @@ pub(crate) fn run(p: &Validate, opts: &RunOpts, name: &str) -> Result<(), String
                 scheduler: analysis_sched,
             };
             let bound = analysis.delay_bound(eps).map(|b| b.bound.delay);
-            let mut report =
-                run_cell(opts, cfg(capacity, hops, n_through, n_cross, sim_sched, source), bound);
+            let mut report = run_cell(
+                opts,
+                cfg(capacity, hops, n_through, n_cross, sim_sched, source),
+                bound,
+                &format!("h{hops}-n{n_through}-c{n_cross}-{}", case.label),
+            );
             let q = report.merged.quantile(1.0 - eps).unwrap_or(f64::NAN);
             let q_spread = report.quantile_spread(1.0 - eps);
             let (viol, p_spread, valid) = match bound {
@@ -151,10 +156,8 @@ pub(crate) fn run(p: &Validate, opts: &RunOpts, name: &str) -> Result<(), String
     out.minplus_check(mp_opt, mp_conv);
 
     if let Some(path) = &opts.json {
-        if let Err(e) = nc_telemetry::export::write_file(path, &out.render()) {
-            eprintln!("error: cannot write --json output to {path}: {e}");
-            std::process::exit(1);
-        }
+        nc_telemetry::export::write_file(path, &out.render())
+            .map_err(|e| format!("cannot write --json output to {path}: {e}"))?;
     }
     Ok(())
 }
@@ -183,9 +186,9 @@ fn cfg(
 /// engine, tracking the cell's bound as an exact threshold. Folds the
 /// cell's metric shard into the process-wide registry for the artifact
 /// writers.
-fn run_cell(opts: &RunOpts, cfg: SimConfig, bound: Option<f64>) -> MonteCarloReport {
+fn run_cell(opts: &RunOpts, cfg: SimConfig, bound: Option<f64>, cell: &str) -> MonteCarloReport {
     let thresholds: Vec<f64> = bound.into_iter().collect();
-    let report = opts.monte_carlo(&thresholds).run(cfg);
+    let report = opts.monte_carlo_cell(&thresholds, cell).run(cfg);
     nc_telemetry::merge_global(&report.metrics);
     report
 }

@@ -34,9 +34,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod artifacts;
 mod engine;
+mod error;
 mod experiments;
 mod model;
 mod opts;
@@ -44,8 +47,9 @@ mod sched;
 
 pub use artifacts::{overlay_report, sim_overlay, RunArtifacts, OVERLAY_EPS};
 pub use engine::{Engine, RunSummary};
+pub use error::Error;
 pub use model::{
-    Bound, CrossSweep, Experiment, MixSweep, PathSweep, Scenario, SimDefaults, Simulate,
+    Bound, CrossSweep, Experiment, Faulted, MixSweep, PathSweep, Scenario, SimDefaults, Simulate,
     UtilizationSweep, Validate, ValidateCase,
 };
 pub use opts::{RunOpts, USAGE};

@@ -1,0 +1,452 @@
+//! Deterministic per-node fault injection for the tandem simulator.
+//!
+//! Theorem 1's leftover service curves assume a constant-rate server
+//! `C`; real links misbehave. This module supplies the degraded-link
+//! side of that comparison: pluggable per-node fault models —
+//! Gilbert–Elliott outages, bounded capacity degradation, transient
+//! node stalls, and probabilistic packet drops — that the simulator
+//! applies slot by slot.
+//!
+//! Determinism is load-bearing. Fault draws come from a *separate*
+//! SplitMix64-derived stream (the replication seed XOR a fixed salt,
+//! expanded once), so
+//!
+//! * a faulted run is bitwise reproducible for a fixed seed, at any
+//!   thread count (each replication owns its fault stream), and
+//! * adding an **empty** fault plan does not perturb the traffic RNG —
+//!   unfaulted results stay bitwise identical to [`crate::TandemSim`]
+//!   without faults.
+//!
+//! Construction validates: any [`FaultPlan`] value that exists is
+//! well-formed (probabilities in `[0, 1]`, factors in `[0, 1]`,
+//! repairs possible, stall durations positive), so the hot path never
+//! re-checks.
+
+use crate::error::Error;
+use rand::rngs::StdRng;
+use rand::{splitmix64, RngExt, SeedableRng};
+
+/// Salt XORed into the replication seed before SplitMix64 expansion to
+/// derive the fault stream. Any fixed odd constant works; this one is
+/// unrelated to the Monte Carlo master-seed expansion so the two
+/// streams never collide.
+const FAULT_SEED_SALT: u64 = 0xD15A_B1ED_1234_F417;
+
+/// One fault process attached to a node. All models are memoryless or
+/// finite-state, advanced once per slot (plus one draw per arriving
+/// chunk for [`FaultModel::Drop`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultModel {
+    /// Two-state Gilbert–Elliott channel: in the *good* state the link
+    /// is nominal; in the *bad* state its capacity is scaled by
+    /// `capacity_factor` (`0.0` = full outage). Transitions are drawn
+    /// once per slot: good→bad with `p_fail`, bad→good with `p_repair`.
+    GilbertElliott {
+        /// Per-slot probability of entering the bad state.
+        p_fail: f64,
+        /// Per-slot probability of leaving the bad state (must be
+        /// positive, so every outage eventually repairs).
+        p_repair: f64,
+        /// Capacity multiplier while bad, in `[0, 1]`.
+        capacity_factor: f64,
+    },
+    /// Memoryless capacity degradation: each slot, independently with
+    /// probability `prob`, the link runs at `factor` × nominal.
+    Degradation {
+        /// Per-slot degradation probability.
+        prob: f64,
+        /// Capacity multiplier on degraded slots, in `[0, 1]`.
+        factor: f64,
+    },
+    /// Transient node stall: each non-stalled slot, with probability
+    /// `prob`, the node freezes (serves nothing) for `duration` slots.
+    Stall {
+        /// Per-slot probability of starting a stall.
+        prob: f64,
+        /// Stall length in slots (≥ 1).
+        duration: u64,
+    },
+    /// Probabilistic packet drop: every chunk arriving at the node is
+    /// discarded independently with probability `prob`.
+    Drop {
+        /// Per-arrival drop probability.
+        prob: f64,
+    },
+}
+
+impl FaultModel {
+    fn validate(&self) -> Result<(), Error> {
+        let prob_ok = |p: f64| p.is_finite() && (0.0..=1.0).contains(&p);
+        let factor_ok = |x: f64| x.is_finite() && (0.0..=1.0).contains(&x);
+        match *self {
+            FaultModel::GilbertElliott { p_fail, p_repair, capacity_factor } => {
+                if !prob_ok(p_fail) || !prob_ok(p_repair) {
+                    return Err(Error::FaultConfig(format!(
+                        "gilbert_elliott probabilities must lie in [0, 1], got p_fail={p_fail}, p_repair={p_repair}"
+                    )));
+                }
+                if p_repair == 0.0 {
+                    return Err(Error::FaultConfig(
+                        "gilbert_elliott p_repair must be positive (a zero-repair link never recovers)".into(),
+                    ));
+                }
+                if !factor_ok(capacity_factor) {
+                    return Err(Error::FaultConfig(format!(
+                        "gilbert_elliott capacity_factor must lie in [0, 1], got {capacity_factor}"
+                    )));
+                }
+            }
+            FaultModel::Degradation { prob, factor } => {
+                if !prob_ok(prob) {
+                    return Err(Error::FaultConfig(format!(
+                        "degradation prob must lie in [0, 1], got {prob}"
+                    )));
+                }
+                if !factor_ok(factor) {
+                    return Err(Error::FaultConfig(format!(
+                        "degradation factor must lie in [0, 1], got {factor}"
+                    )));
+                }
+            }
+            FaultModel::Stall { prob, duration } => {
+                if !prob_ok(prob) {
+                    return Err(Error::FaultConfig(format!(
+                        "stall prob must lie in [0, 1], got {prob}"
+                    )));
+                }
+                if duration == 0 {
+                    return Err(Error::FaultConfig(
+                        "stall duration must be at least 1 slot".into(),
+                    ));
+                }
+            }
+            FaultModel::Drop { prob } => {
+                if !prob_ok(prob) {
+                    return Err(Error::FaultConfig(format!(
+                        "drop prob must lie in [0, 1], got {prob}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PlanNodes {
+    /// The same model list applies to every node of the path.
+    Uniform(Vec<FaultModel>),
+    /// One model list per node (`per_node[h]` for hop `h`); the length
+    /// must equal the path's hop count at simulator construction.
+    PerNode(Vec<Vec<FaultModel>>),
+}
+
+/// A validated assignment of fault models to the nodes of a tandem.
+///
+/// Constructors validate every model, so a `FaultPlan` value is always
+/// well-formed; the only check left for simulation time is that a
+/// per-node plan's length matches the path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    nodes: PlanNodes,
+}
+
+impl FaultPlan {
+    /// A plan applying the same fault models to every node.
+    pub fn uniform(models: Vec<FaultModel>) -> Result<Self, Error> {
+        for m in &models {
+            m.validate()?;
+        }
+        Ok(FaultPlan { nodes: PlanNodes::Uniform(models) })
+    }
+
+    /// A plan with an explicit model list per node (`per_node[h]` is
+    /// applied at hop `h`; an empty list leaves that node clean).
+    pub fn per_node(per_node: Vec<Vec<FaultModel>>) -> Result<Self, Error> {
+        for m in per_node.iter().flatten() {
+            m.validate()?;
+        }
+        Ok(FaultPlan { nodes: PlanNodes::PerNode(per_node) })
+    }
+
+    /// The models applied at `node`.
+    pub fn models_for(&self, node: usize) -> &[FaultModel] {
+        match &self.nodes {
+            PlanNodes::Uniform(models) => models,
+            PlanNodes::PerNode(per_node) => per_node.get(node).map_or(&[], Vec::as_slice),
+        }
+    }
+
+    /// For per-node plans, the number of nodes the plan covers.
+    pub fn node_count(&self) -> Option<usize> {
+        match &self.nodes {
+            PlanNodes::Uniform(_) => None,
+            PlanNodes::PerNode(per_node) => Some(per_node.len()),
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        match &self.nodes {
+            PlanNodes::Uniform(models) => models.is_empty(),
+            PlanNodes::PerNode(per_node) => per_node.iter().all(Vec::is_empty),
+        }
+    }
+
+    /// Checks that this plan fits a path of `hops` nodes.
+    pub fn check_hops(&self, hops: usize) -> Result<(), Error> {
+        if let Some(n) = self.node_count() {
+            if n != hops {
+                return Err(Error::FaultConfig(format!(
+                    "fault plan covers {n} nodes but the path has {hops} hops"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-(node, model) runtime state.
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    /// Gilbert–Elliott: currently in the bad state.
+    ge_bad: bool,
+    /// Stall: remaining frozen slots (including the current one once
+    /// set).
+    stall_left: u64,
+}
+
+/// Fault event counters, tracked unconditionally (they are a handful
+/// of integer increments) and exported through the simulator's metric
+/// set when telemetry is compiled in.
+#[derive(Debug, Clone, Default)]
+pub struct FaultCounters {
+    /// Per node: slots served below nominal capacity.
+    pub degraded_slots: Vec<u64>,
+    /// Per node: slots with zero effective capacity (outage or stall).
+    pub outage_slots: Vec<u64>,
+    /// Per node: chunks discarded on arrival.
+    pub dropped_chunks: Vec<u64>,
+}
+
+/// The per-replication fault engine: owns the fault RNG stream and the
+/// per-node model states, and answers two questions the simulator asks
+/// — "how much capacity does node `h` have this slot?" and "is this
+/// arrival dropped?".
+///
+/// Draw order is fixed (nodes in path order, models in plan order, one
+/// draw per arriving chunk per drop model), which is what makes faulted
+/// runs bitwise deterministic.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    states: Vec<Vec<FaultState>>,
+    rng: StdRng,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a path of `hops` nodes, deriving the
+    /// fault stream from the replication `seed` (salted, so the
+    /// traffic RNG seeded directly from `seed` is untouched).
+    pub fn new(plan: &FaultPlan, hops: usize, seed: u64) -> Result<Self, Error> {
+        plan.check_hops(hops)?;
+        let states =
+            (0..hops).map(|h| vec![FaultState::default(); plan.models_for(h).len()]).collect();
+        let mut salt_state = seed ^ FAULT_SEED_SALT;
+        let fault_seed = splitmix64(&mut salt_state);
+        Ok(FaultInjector {
+            plan: plan.clone(),
+            states,
+            rng: StdRng::seed_from_u64(fault_seed),
+            counters: FaultCounters {
+                degraded_slots: vec![0; hops],
+                outage_slots: vec![0; hops],
+                dropped_chunks: vec![0; hops],
+            },
+        })
+    }
+
+    /// Advances node `node`'s fault processes by one slot and returns
+    /// its effective capacity, guaranteed to lie in `[0, nominal]`.
+    pub fn begin_slot(&mut self, node: usize, nominal: f64) -> f64 {
+        let mut factor = 1.0_f64;
+        for (model, state) in self.plan.models_for(node).iter().zip(&mut self.states[node]) {
+            match *model {
+                FaultModel::GilbertElliott { p_fail, p_repair, capacity_factor } => {
+                    let u: f64 = self.rng.random();
+                    if state.ge_bad {
+                        if u < p_repair {
+                            state.ge_bad = false;
+                        }
+                    } else if u < p_fail {
+                        state.ge_bad = true;
+                    }
+                    if state.ge_bad {
+                        factor *= capacity_factor;
+                    }
+                }
+                FaultModel::Degradation { prob, factor: f } => {
+                    let u: f64 = self.rng.random();
+                    if u < prob {
+                        factor *= f;
+                    }
+                }
+                FaultModel::Stall { prob, duration } => {
+                    if state.stall_left > 0 {
+                        state.stall_left -= 1;
+                        factor = 0.0;
+                    } else {
+                        let u: f64 = self.rng.random();
+                        if u < prob {
+                            state.stall_left = duration - 1;
+                            factor = 0.0;
+                        }
+                    }
+                }
+                FaultModel::Drop { .. } => {}
+            }
+        }
+        let eff = (nominal * factor).clamp(0.0, nominal);
+        if eff < nominal {
+            self.counters.degraded_slots[node] += 1;
+            if eff <= 0.0 {
+                self.counters.outage_slots[node] += 1;
+            }
+        }
+        eff
+    }
+
+    /// Draws the drop decision for one chunk arriving at `node`. Every
+    /// [`FaultModel::Drop`] attached to the node draws exactly once,
+    /// regardless of earlier outcomes, keeping the stream position
+    /// independent of the decisions themselves.
+    pub fn drop_arrival(&mut self, node: usize) -> bool {
+        let mut dropped = false;
+        for model in self.plan.models_for(node) {
+            if let FaultModel::Drop { prob } = *model {
+                let u: f64 = self.rng.random();
+                if u < prob {
+                    dropped = true;
+                }
+            }
+        }
+        if dropped {
+            self.counters.dropped_chunks[node] += 1;
+        }
+        dropped
+    }
+
+    /// Whether any node has a [`FaultModel::Drop`] attached (lets the
+    /// simulator skip per-arrival draws entirely on drop-free plans —
+    /// not for speed, but so plans without drops keep an identical
+    /// fault-stream position whether or not traffic flows).
+    pub fn has_drops(&self) -> bool {
+        (0..self.states.len())
+            .any(|h| self.plan.models_for(h).iter().any(|m| matches!(m, FaultModel::Drop { .. })))
+    }
+
+    /// Fault event counts accumulated so far.
+    pub fn counters(&self) -> &FaultCounters {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ge(p_fail: f64, p_repair: f64, f: f64) -> FaultModel {
+        FaultModel::GilbertElliott { p_fail, p_repair, capacity_factor: f }
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultPlan::uniform(vec![ge(1.5, 0.5, 0.0)]).is_err());
+        assert!(FaultPlan::uniform(vec![ge(0.1, 0.0, 0.0)]).is_err(), "no repair");
+        assert!(FaultPlan::uniform(vec![ge(0.1, 0.5, 2.0)]).is_err(), "factor > 1");
+        assert!(FaultPlan::uniform(vec![FaultModel::Degradation { prob: f64::NAN, factor: 0.5 }])
+            .is_err());
+        assert!(FaultPlan::uniform(vec![FaultModel::Stall { prob: 0.1, duration: 0 }]).is_err());
+        assert!(FaultPlan::uniform(vec![FaultModel::Drop { prob: -0.1 }]).is_err());
+        assert!(
+            FaultPlan::uniform(vec![ge(0.01, 0.2, 0.0), FaultModel::Drop { prob: 0.05 }]).is_ok()
+        );
+    }
+
+    #[test]
+    fn per_node_plan_checks_hops() {
+        let plan = FaultPlan::per_node(vec![vec![], vec![ge(0.1, 0.5, 0.0)]]).unwrap();
+        assert!(plan.check_hops(2).is_ok());
+        assert!(plan.check_hops(3).is_err());
+        assert!(FaultPlan::uniform(vec![]).unwrap().check_hops(7).is_ok());
+    }
+
+    #[test]
+    fn effective_capacity_never_exceeds_nominal() {
+        let plan = FaultPlan::uniform(vec![
+            ge(0.3, 0.4, 0.25),
+            FaultModel::Degradation { prob: 0.5, factor: 0.5 },
+            FaultModel::Stall { prob: 0.05, duration: 3 },
+        ])
+        .unwrap();
+        let mut inj = FaultInjector::new(&plan, 4, 99).unwrap();
+        for slot in 0..5_000 {
+            for h in 0..4 {
+                let eff = inj.begin_slot(h, 100.0);
+                assert!(
+                    (0.0..=100.0).contains(&eff),
+                    "slot {slot} node {h}: effective capacity {eff} outside [0, nominal]"
+                );
+            }
+        }
+        let c = inj.counters();
+        assert!(c.degraded_slots.iter().sum::<u64>() > 0, "faults never fired");
+        assert!(c.outage_slots.iter().sum::<u64>() > 0, "stalls never fired");
+    }
+
+    #[test]
+    fn injector_streams_are_deterministic_and_seed_sensitive() {
+        let plan =
+            FaultPlan::uniform(vec![ge(0.1, 0.3, 0.5), FaultModel::Drop { prob: 0.2 }]).unwrap();
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(&plan, 2, seed).unwrap();
+            let mut caps = Vec::new();
+            let mut drops = Vec::new();
+            for _ in 0..500 {
+                for h in 0..2 {
+                    caps.push(inj.begin_slot(h, 10.0).to_bits());
+                    drops.push(inj.drop_arrival(h));
+                }
+            }
+            (caps, drops)
+        };
+        assert_eq!(run(42), run(42), "same seed must replay bitwise");
+        assert_ne!(run(42), run(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn stall_freezes_for_exactly_duration_slots() {
+        let plan = FaultPlan::uniform(vec![FaultModel::Stall { prob: 1.0, duration: 4 }]).unwrap();
+        let mut inj = FaultInjector::new(&plan, 1, 7).unwrap();
+        // prob = 1: the node stalls immediately and re-stalls forever,
+        // so every slot is an outage — the boundary case that shows the
+        // duration bookkeeping never "leaks" a served slot.
+        for _ in 0..20 {
+            assert_eq!(inj.begin_slot(0, 5.0), 0.0);
+        }
+        assert_eq!(inj.counters().outage_slots[0], 20);
+    }
+
+    #[test]
+    fn drop_model_alone_leaves_capacity_nominal() {
+        let plan = FaultPlan::uniform(vec![FaultModel::Drop { prob: 0.9 }]).unwrap();
+        let mut inj = FaultInjector::new(&plan, 1, 3).unwrap();
+        assert!(inj.has_drops());
+        for _ in 0..100 {
+            assert_eq!(inj.begin_slot(0, 42.0), 42.0);
+        }
+        let drops = (0..1_000).filter(|_| inj.drop_arrival(0)).count();
+        assert!(drops > 800, "p=0.9 drop model only dropped {drops}/1000");
+    }
+}

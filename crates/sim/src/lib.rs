@@ -42,7 +42,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
+mod checkpoint;
+mod error;
+mod faults;
 mod montecarlo;
 mod node;
 mod scheduler;
@@ -51,6 +56,9 @@ mod source;
 mod stats;
 mod tandem;
 
+pub use checkpoint::{Checkpoint, CheckpointCfg};
+pub use error::Error;
+pub use faults::{FaultCounters, FaultInjector, FaultModel, FaultPlan};
 pub use montecarlo::{MonteCarlo, MonteCarloReport, StatsMode, DEFAULT_RESERVOIR};
 pub use node::{Chunk, Node, NodeCounters, NodePolicy, ServiceMode};
 pub use scheduler::SchedulerKind;

@@ -319,6 +319,21 @@ impl Node {
         self.serve_slot(slot, &mut out);
         out
     }
+
+    /// Like [`Node::serve_slot`], but with this slot's capacity limited
+    /// to `capacity` (a degraded link). The cap is clamped to the
+    /// nominal capacity — a fault can only remove service, never add it
+    /// — and a non-positive cap serves nothing (a full outage slot).
+    /// The node's nominal capacity is untouched for subsequent slots.
+    pub fn serve_slot_capped(&mut self, slot: u64, capacity: f64, out: &mut Vec<Chunk>) {
+        if capacity.is_nan() || capacity <= 0.0 {
+            return;
+        }
+        let nominal = self.core.capacity;
+        self.core.capacity = capacity.min(nominal);
+        self.sched.serve(&mut self.core, self.mode, slot, out);
+        self.core.capacity = nominal;
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,7 @@
 //! The tandem topology of the paper's Fig. 1.
 
+use crate::error::Error;
+use crate::faults::{FaultCounters, FaultInjector, FaultPlan};
 use crate::node::{Chunk, Node, NodePolicy};
 use crate::scheduler::SchedulerKind;
 use crate::source::{MmooAggregate, Source};
@@ -91,6 +93,19 @@ impl Default for SimConfig {
     }
 }
 
+/// One through-aggregate emission still inside the network.
+#[derive(Debug, Clone, Copy)]
+struct OutstandingEmission {
+    /// Slot the emission entered the network.
+    entry: u64,
+    /// Bits not yet accounted for (by exit or by fault drop).
+    bits: f64,
+    /// Whether any of the emission's bits were dropped by a fault — a
+    /// lossy emission yields no delay sample (its "delay" would measure
+    /// only the surviving fragments).
+    lossy: bool,
+}
+
 /// A running tandem simulation.
 ///
 /// Traffic moves in cut-through fashion: data served by node `h` during
@@ -106,8 +121,8 @@ pub struct TandemSim {
     through: MmooAggregate,
     cross: Vec<MmooAggregate>,
     nodes: Vec<Node>,
-    /// Outstanding through emissions: (entry slot, bits still inside).
-    outstanding: VecDeque<(u64, f64)>,
+    /// Outstanding through emissions, in entry order.
+    outstanding: VecDeque<OutstandingEmission>,
     /// Reusable buffer of chunks moving to the next node within the
     /// current slot (cut-through), kept across slots to avoid per-slot
     /// allocation.
@@ -124,6 +139,11 @@ pub struct TandemSim {
     backlog_stats: DelayStats,
     /// Opt-in telemetry; `None` keeps the hot loop untouched.
     telemetry: Option<SimTelemetry>,
+    /// Fault injection; `None` keeps the hot loop untouched.
+    faults: Option<FaultInjector>,
+    /// Through emissions that lost bits to fault drops (post-warmup
+    /// entries only would undercount; all entries are counted).
+    lost_emissions: u64,
 }
 
 impl TandemSim {
@@ -184,7 +204,48 @@ impl TandemSim {
             stats: DelayStats::new(),
             backlog_stats: DelayStats::new(),
             telemetry: None,
+            faults: None,
+            lost_emissions: 0,
         }
+    }
+
+    /// Creates a faulted simulation: like [`TandemSim::new`], with the
+    /// given [`FaultPlan`] injected at every node. Fault draws come
+    /// from a separate salted stream derived from `seed`, so the
+    /// traffic sample path is identical to the unfaulted simulation
+    /// under the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FaultConfig`] when a per-node plan does not
+    /// cover exactly `cfg.hops` nodes.
+    pub fn with_faults(cfg: SimConfig, plan: &FaultPlan, seed: u64) -> Result<Self, Error> {
+        let capacities = vec![cfg.capacity; cfg.hops];
+        Self::with_capacities_and_faults(cfg, &capacities, Some(plan), seed)
+    }
+
+    /// The fully general constructor: per-node capacities plus an
+    /// optional fault plan (`None` behaves exactly like
+    /// [`TandemSim::with_capacities`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::FaultConfig`] on a plan/topology mismatch.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TandemSim::with_capacities`].
+    pub fn with_capacities_and_faults(
+        cfg: SimConfig,
+        capacities: &[f64],
+        plan: Option<&FaultPlan>,
+        seed: u64,
+    ) -> Result<Self, Error> {
+        let mut sim = Self::with_capacities(cfg, capacities, seed);
+        if let Some(plan) = plan {
+            sim.faults = Some(FaultInjector::new(plan, cfg.hops, seed)?);
+        }
+        Ok(sim)
     }
 
     /// Turns on per-node telemetry collection (queue-depth and backlog
@@ -273,36 +334,69 @@ impl TandemSim {
             for _ in 0..thr_packets {
                 forwarded.push(Chunk { class: 0, bits: per, entry: t, node_arrival: t });
             }
-            self.outstanding.push_back((t, thr_bits));
+            self.outstanding.push_back(OutstandingEmission {
+                entry: t,
+                bits: thr_bits,
+                lossy: false,
+            });
             if let Some(tel) = &mut self.telemetry {
                 tel.through_emission_kb.record(thr_bits);
             }
         }
         for h in 0..self.cfg.hops {
+            // Fault processes advance once per node per slot, in path
+            // order, before any service — a fixed draw order is what
+            // keeps faulted runs bitwise deterministic.
+            let eff_capacity =
+                self.faults.as_mut().map(|inj| inj.begin_slot(h, self.nodes[h].capacity()));
             // Incremental backlog tracking: arrivals at this node this
             // slot, minus departures below (at original chunk sizes).
-            let arrived_kb: f64 =
-                if self.telemetry.is_some() { forwarded.iter().map(|c| c.bits).sum() } else { 0.0 };
+            let mut arrived_kb = 0.0_f64;
             for c in forwarded.drain(..) {
+                let dropped = match &mut self.faults {
+                    Some(inj) => inj.drop_arrival(h),
+                    None => false,
+                };
+                if dropped {
+                    if c.class == 0 {
+                        self.retire_dropped_through(&c);
+                    }
+                    continue;
+                }
+                if self.telemetry.is_some() {
+                    arrived_kb += c.bits;
+                }
                 self.nodes[h].enqueue(c);
             }
             let raw_cross = self.cross[h].pull(&mut self.rng);
             let (cross_bits, cross_packets) = self.quantize(h + 1, raw_cross);
+            let mut cross_arrived_kb = 0.0_f64;
             if cross_bits > 0.0 {
                 let per = cross_bits / cross_packets as f64;
                 for _ in 0..cross_packets {
+                    let dropped = match &mut self.faults {
+                        Some(inj) => inj.drop_arrival(h),
+                        None => false,
+                    };
+                    if dropped {
+                        continue;
+                    }
+                    cross_arrived_kb += per;
                     self.nodes[h].enqueue(Chunk { class: 1, bits: per, entry: t, node_arrival: t });
                 }
             }
             departures.clear();
-            self.nodes[h].serve_slot(t, &mut departures);
+            match eff_capacity {
+                Some(cap) => self.nodes[h].serve_slot_capped(t, cap, &mut departures),
+                None => self.nodes[h].serve_slot(t, &mut departures),
+            }
             if h == 0 && t >= self.cfg.warmup {
                 self.backlog_stats.record(self.nodes[0].class_backlog(0));
             }
             if let Some(tel) = &mut self.telemetry {
                 let departed_kb: f64 = departures.iter().map(|c| c.bits).sum();
                 tel.backlog_now[h] =
-                    (tel.backlog_now[h] + arrived_kb + cross_bits - departed_kb).max(0.0);
+                    (tel.backlog_now[h] + arrived_kb + cross_arrived_kb - departed_kb).max(0.0);
                 tel.backlog[h].record(tel.backlog_now[h]);
                 tel.queue_depth[h].record(self.nodes[h].queue_len() as f64);
                 if cross_bits > 0.0 {
@@ -332,20 +426,47 @@ impl TandemSim {
     /// A through fragment left the final node: retire it against its
     /// entry slot's outstanding bits and record `W(entry)` when the
     /// emission is fully out. Locally-FIFO scheduling guarantees entries
-    /// complete in order.
+    /// complete in order (fault drops may leave fully-retired "zombie"
+    /// entries ahead of us; those are drained first).
     fn record_exit(&mut self, c: Chunk, now: u64) {
+        self.drain_retired_front();
         let front = self.outstanding.front_mut().expect("departure without outstanding data");
-        debug_assert_eq!(front.0, c.entry, "through traffic must exit in entry order");
-        front.1 -= c.bits;
-        if front.1 <= 1e-9 {
-            let (entry, _) = self.outstanding.pop_front().expect("front exists");
-            if entry >= self.cfg.warmup {
-                self.stats.record((now - entry) as f64);
+        debug_assert_eq!(front.entry, c.entry, "through traffic must exit in entry order");
+        front.bits -= c.bits;
+        if front.bits <= 1e-9 {
+            let e = self.outstanding.pop_front().expect("front exists");
+            if e.lossy {
+                self.lost_emissions += 1;
+            } else if e.entry >= self.cfg.warmup {
+                self.stats.record((now - e.entry) as f64);
                 if let Some(tel) = &mut self.telemetry {
                     tel.samples += 1;
                 }
             } else if let Some(tel) = &mut self.telemetry {
                 tel.warmup_discarded += 1;
+            }
+        }
+    }
+
+    /// A through chunk was dropped by a fault: retire its bits against
+    /// its emission's outstanding entry and mark the emission lossy (a
+    /// partial delivery yields no delay sample).
+    fn retire_dropped_through(&mut self, c: &Chunk) {
+        if let Some(e) = self.outstanding.iter_mut().find(|e| e.entry == c.entry) {
+            e.bits -= c.bits;
+            e.lossy = true;
+        }
+        self.drain_retired_front();
+    }
+
+    /// Pops leading outstanding entries whose bits are fully accounted
+    /// for by fault drops (exits pop their own entries in
+    /// [`TandemSim::record_exit`]).
+    fn drain_retired_front(&mut self) {
+        while self.outstanding.front().is_some_and(|e| e.bits <= 1e-9) {
+            let e = self.outstanding.pop_front().expect("front exists");
+            if e.lossy {
+                self.lost_emissions += 1;
             }
         }
     }
@@ -371,6 +492,18 @@ impl TandemSim {
         &self.backlog_stats
     }
 
+    /// Fault event counters, when the simulation was built with a
+    /// fault plan.
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(FaultInjector::counters)
+    }
+
+    /// Through emissions that lost bits to fault drops (and therefore
+    /// produced no delay sample).
+    pub fn lost_emissions(&self) -> u64 {
+        self.lost_emissions
+    }
+
     /// Flushes the collected telemetry into a mergeable [`MetricSet`]
     /// (`sim_*` namespace, per-node series labelled `node="h"`). Empty
     /// unless [`TandemSim::enable_telemetry`] was called *and* the
@@ -393,6 +526,14 @@ impl TandemSim {
             m.histogram_merge("sim_node_queue_depth", &labels, &tel.queue_depth[h]);
             m.histogram_merge("sim_node_backlog_kb", &labels, &tel.backlog[h]);
             m.histogram_merge("sim_cross_emission_kb", &labels, &tel.cross_emission_kb[h]);
+            if let Some(fc) = self.fault_counters() {
+                m.counter_add("sim_fault_degraded_slots_total", &labels, fc.degraded_slots[h]);
+                m.counter_add("sim_fault_outage_slots_total", &labels, fc.outage_slots[h]);
+                m.counter_add("sim_fault_dropped_chunks_total", &labels, fc.dropped_chunks[h]);
+            }
+        }
+        if self.faults.is_some() {
+            m.counter_add("sim_fault_lost_emissions_total", &[], self.lost_emissions);
         }
         m
     }
@@ -528,8 +669,73 @@ mod tests {
         }
         // Outstanding bits + recorded samples account for every through
         // emission: outstanding is bounded by the backlog.
-        let outstanding_bits: f64 = sim.outstanding.iter().map(|(_, b)| b).sum();
+        let outstanding_bits: f64 = sim.outstanding.iter().map(|e| e.bits).sum();
         assert!(outstanding_bits <= sim.backlog() + 1e-6);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_identical_to_no_faults() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let plain = TandemSim::new(cfg, 21).run(20_000);
+        let plan = FaultPlan::uniform(vec![]).unwrap();
+        let faulted = TandemSim::with_faults(cfg, &plan, 21).unwrap().run(20_000);
+        assert_eq!(plain.samples(), faulted.samples(), "empty plan must not perturb traffic");
+    }
+
+    #[test]
+    fn faulted_runs_are_seed_deterministic() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let plan = FaultPlan::uniform(vec![
+            crate::FaultModel::GilbertElliott { p_fail: 0.01, p_repair: 0.2, capacity_factor: 0.0 },
+            crate::FaultModel::Drop { prob: 0.002 },
+        ])
+        .unwrap();
+        let a = TandemSim::with_faults(cfg, &plan, 77).unwrap().run(20_000);
+        let b = TandemSim::with_faults(cfg, &plan, 77).unwrap().run(20_000);
+        assert_eq!(a.samples(), b.samples());
+        let c = TandemSim::with_faults(cfg, &plan, 78).unwrap().run(20_000);
+        assert_ne!(a.samples(), c.samples(), "different seeds must diverge");
+    }
+
+    #[test]
+    fn outages_inflate_delays() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let clean = TandemSim::new(cfg, 5).run(40_000);
+        let plan = FaultPlan::uniform(vec![crate::FaultModel::GilbertElliott {
+            p_fail: 0.02,
+            p_repair: 0.1,
+            capacity_factor: 0.0,
+        }])
+        .unwrap();
+        let mut sim = TandemSim::with_faults(cfg, &plan, 5).unwrap();
+        let faulted = sim.run(40_000);
+        assert!(
+            faulted.mean().unwrap() > clean.mean().unwrap(),
+            "outages must hurt: clean {:?} vs faulted {:?}",
+            clean.mean(),
+            faulted.mean()
+        );
+        let fc = sim.fault_counters().unwrap();
+        assert!(fc.outage_slots.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn drops_lose_emissions_not_samples_integrity() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let plan = FaultPlan::uniform(vec![crate::FaultModel::Drop { prob: 0.05 }]).unwrap();
+        let mut sim = TandemSim::with_faults(cfg, &plan, 13).unwrap();
+        let stats = sim.run(40_000);
+        assert!(sim.lost_emissions() > 0, "5% drops over 40k slots must lose something");
+        assert!(!stats.is_empty(), "most emissions still make it through");
+        let fc = sim.fault_counters().unwrap();
+        assert!(fc.dropped_chunks.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn per_node_plan_mismatch_is_an_error() {
+        let cfg = light_cfg(SchedulerKind::Fifo);
+        let plan = FaultPlan::per_node(vec![vec![], vec![]]).unwrap(); // 2 nodes, cfg has 3
+        assert!(TandemSim::with_faults(cfg, &plan, 1).is_err());
     }
 
     #[test]

@@ -160,7 +160,14 @@ pub fn chrome_trace(process_name: &str, spans: &[SpanEvent], dropped_spans: u64)
     )
 }
 
-/// Writes `content` to `path`, creating parent directories as needed.
+/// Writes `content` to `path` crash-safely, creating parent
+/// directories as needed.
+///
+/// The bytes go to a temporary sibling (same directory, so the final
+/// step stays on one filesystem), are fsynced, and the temporary is
+/// then atomically renamed over `path`. A crash — including a SIGKILL
+/// mid-write — therefore leaves either the previous complete file or
+/// the new complete file, never a truncated artifact.
 pub fn write_file(path: impl AsRef<Path>, content: &str) -> std::io::Result<()> {
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
@@ -168,8 +175,28 @@ pub fn write_file(path: impl AsRef<Path>, content: &str) -> std::io::Result<()> 
             std::fs::create_dir_all(parent)?;
         }
     }
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(content.as_bytes())
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(content.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        // Best effort: don't leave the temporary behind on failure.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// A temporary path next to `path` (process-id suffixed, so concurrent
+/// processes writing the same artifact never clobber each other's
+/// in-progress bytes).
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name =
+        path.file_name().map_or_else(|| std::ffi::OsString::from("artifact"), |n| n.to_os_string());
+    name.push(format!(".{}.tmp", std::process::id()));
+    path.with_file_name(name)
 }
 
 #[cfg(test)]
@@ -224,6 +251,24 @@ mod tests {
         assert!(out.contains("lat_seconds_bucket{le=\"+Inf\"} 2\n"));
         assert!(out.contains("lat_seconds_sum 3.5\n"));
         assert!(out.contains("lat_seconds_count 2\n"));
+    }
+
+    #[test]
+    fn write_file_is_atomic_and_leaves_no_temporaries() {
+        let dir = std::env::temp_dir().join(format!("nc_tel_atomic_{}", std::process::id()));
+        let path = dir.join("nested").join("artifact.json");
+        write_file(&path, "{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        // Overwriting replaces the content wholesale.
+        write_file(&path, "{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temporary files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[cfg(feature = "enabled")]

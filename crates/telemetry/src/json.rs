@@ -272,7 +272,10 @@ fn string_lit(b: &[u8], pos: &mut usize) -> Result<String, String> {
                                     ));
                                 }
                                 let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(c).unwrap()
+                                // A combined surrogate pair always lands
+                                // in 0x10000..0x110000, a valid scalar.
+                                char::from_u32(c)
+                                    .expect("surrogate pair combines to a valid scalar")
                             } else {
                                 return Err(format!(
                                     "unpaired surrogate at byte {pos}",

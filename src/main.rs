@@ -29,7 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     match cmd.as_str() {
         "bound" | "sweep" | "simulate" => {
@@ -37,14 +37,14 @@ fn main() -> ExitCode {
                 Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}\n\n{USAGE}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 }
             };
             let scenario = match opts.scenario(cmd) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 }
             };
             run_engine(scenario, opts.run_opts())
@@ -56,17 +56,21 @@ fn main() -> ExitCode {
         }
         other => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
+/// Maps the engine's typed errors to distinct exit codes (see
+/// `nc_scenario::Error::exit_code`): 2 usage, 3 file I/O, 4 bad
+/// scenario/fault configuration, 5 checkpoint problems, 6 runtime
+/// failures, 7 infeasible analysis.
 fn run_engine(scenario: Scenario, opts: RunOpts) -> ExitCode {
     match Engine::new(scenario, opts).run() {
         Ok(_) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -79,20 +83,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "error: `run` needs a scenario file\n\nusage: linksched run <scenario.json> [options]\n{}",
             nc_scenario::USAGE
         );
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let scenario = match Scenario::from_json(&text) {
+    // Scenario::load distinguishes an unreadable file (exit code 3)
+    // from an invalid one (exit code 4).
+    let scenario = match Scenario::load(path) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: {path}: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}");
+            return ExitCode::from(e.exit_code());
         }
     };
     let opts = match Engine::default_opts(&scenario).parse(args[1..].to_vec()) {
@@ -116,6 +115,7 @@ USAGE:
     linksched run      <scenario.json> [--reps N] [--threads N] [--seed N]
                        [--slots N] [--metrics-out P] [--trace-out P]
                        [--events-out P] [--manifest-out P] [--progress]
+                       [--checkpoint P] [--checkpoint-every N] [--resume]
 
 OPTIONS:
     --capacity C       link capacity in Mbps (= kb/ms)          [default: 100]
@@ -255,6 +255,7 @@ impl Options {
             title: None,
             experiment,
             sim: SimDefaults { reps: self.reps, slots: self.slots, seed: Some(self.seed) },
+            faults: None,
         })
     }
 

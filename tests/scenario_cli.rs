@@ -165,6 +165,168 @@ fn with_threads<'a>(base: &[&'a str], threads: &'a str) -> Vec<&'a str> {
     v
 }
 
+/// A fault-injected scenario run is bitwise deterministic: identical
+/// stdout at 1, 2, and 8 worker threads (the per-node fault streams are
+/// seeded per replication, independent of scheduling onto threads).
+#[test]
+fn faulted_scenario_is_deterministic_across_thread_counts() {
+    let scenario = repo_path("examples/scenarios/faulted_tandem.json");
+    let base = ["run", scenario.as_str(), "--reps", "4", "--slots", "15000"];
+    let reference = run(&with_threads(&base, "1")).stdout;
+    for threads in ["2", "8"] {
+        let out = run(&with_threads(&base, threads)).stdout;
+        assert_eq!(
+            String::from_utf8_lossy(&reference),
+            String::from_utf8_lossy(&out),
+            "faulted run output changed between --threads 1 and --threads {threads}"
+        );
+    }
+}
+
+/// Crash-safety acceptance: SIGKILL a checkpointing fault-injected run
+/// mid-flight, resume it, and require byte-identical stdout (and thus
+/// merged statistics) versus an uninterrupted run at a different thread
+/// count.
+#[test]
+fn killed_run_resumes_bitwise_identical() {
+    let scratch = Scratch::new("resume");
+    let scenario = scratch.path("faulted_sim.json");
+    std::fs::write(
+        &scenario,
+        r#"{
+          "name": "resume_probe",
+          "experiment": "simulate",
+          "params": {"hops": 2, "through": 30, "cross": 50, "capacity": 15.0, "sched": "fifo"},
+          "faults": [
+            {"kind": "gilbert_elliott", "p_fail": 0.002, "p_repair": 0.05, "capacity_factor": 0.0},
+            {"kind": "drop", "prob": 0.001}
+          ],
+          "sim": {"reps": 12, "slots": 150000, "seed": 9}
+        }"#,
+    )
+    .unwrap();
+
+    // Reference: uninterrupted, single-threaded, no checkpointing.
+    let reference = run(&["run", &scenario, "--threads", "1"]).stdout;
+
+    // Victim: checkpoint after every replication, SIGKILL as soon as the
+    // first checkpoint lands on disk.
+    let ckpt = scratch.path("probe.ckpt");
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_linksched"))
+        .args([
+            "run",
+            &scenario,
+            "--threads",
+            "2",
+            "--checkpoint",
+            &ckpt,
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while !Path::new(&ckpt).exists() && std::time::Instant::now() < deadline {
+        if child.try_wait().expect("try_wait").is_some() {
+            break; // finished before we could kill it; resume still must work
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    child.kill().ok();
+    child.wait().expect("reap victim");
+    assert!(Path::new(&ckpt).exists(), "no checkpoint was written before the kill");
+
+    // Resume: must pick up the finished replications and produce stdout
+    // byte-identical to the uninterrupted reference.
+    let out = Command::new(env!("CARGO_BIN_EXE_linksched"))
+        .args([
+            "run",
+            &scenario,
+            "--threads",
+            "2",
+            "--checkpoint",
+            &ckpt,
+            "--checkpoint-every",
+            "1",
+            "--resume",
+        ])
+        .output()
+        .expect("spawn resume");
+    assert!(
+        out.status.success(),
+        "resume run failed ({:?}): {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&reference),
+        String::from_utf8_lossy(&out.stdout),
+        "resumed stdout diverged from the uninterrupted run"
+    );
+}
+
+/// A checkpoint from one workload must not be resumable by another: the
+/// fingerprint mismatch surfaces as the checkpoint exit code (5), not a
+/// silent merge of foreign statistics.
+#[test]
+fn resume_rejects_a_foreign_checkpoint() {
+    let scratch = Scratch::new("foreign");
+    let mk = |name: &str, seed: u64| {
+        let p = scratch.path(name);
+        std::fs::write(
+            &p,
+            format!(
+                r#"{{
+                  "name": "probe_{seed}",
+                  "experiment": "simulate",
+                  "params": {{"hops": 1, "through": 5, "cross": 5, "capacity": 10.0, "sched": "fifo"}},
+                  "sim": {{"reps": 2, "slots": 2000, "seed": {seed}}}
+                }}"#
+            ),
+        )
+        .unwrap();
+        p
+    };
+    let a = mk("a.json", 1);
+    let b = mk("b.json", 2);
+    let ckpt = scratch.path("a.ckpt");
+    run(&["run", &a, "--checkpoint", &ckpt]);
+    let out = Command::new(env!("CARGO_BIN_EXE_linksched"))
+        .args(["run", &b, "--checkpoint", &ckpt, "--resume"])
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(5), "checkpoint mismatch must exit with code 5");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checkpoint"),
+        "stderr should name the checkpoint problem: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// The typed error taxonomy maps failure classes to distinct exit
+/// codes: unreadable file (3), invalid scenario (4), infeasible
+/// analysis (7).
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    let probe = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_linksched")).args(args).output().expect("spawn")
+    };
+    let out = probe(&["run", "/nonexistent/scenario.json"]);
+    assert_eq!(out.status.code(), Some(3), "unreadable file is exit code 3");
+
+    let scratch = Scratch::new("exitcodes");
+    let bad = scratch.path("bad.json");
+    std::fs::write(&bad, "{\"name\": \"x\", \"experiment\": \"no-such\"}").unwrap();
+    let out = probe(&["run", &bad]);
+    assert_eq!(out.status.code(), Some(4), "invalid scenario is exit code 4");
+
+    // An overloaded tandem has no finite delay bound: infeasible (7).
+    let out = probe(&["bound", "--hops", "2", "--through", "900", "--cross", "0"]);
+    assert_eq!(out.status.code(), Some(7), "infeasible analysis is exit code 7");
+}
+
 /// Scenario files shipped in the repository must all parse (full runs
 /// of the figure-size ones are covered by the golden tests and CI).
 #[test]
