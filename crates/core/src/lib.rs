@@ -73,7 +73,10 @@ pub use e2e::{
     E2eDelayBound, MmooDelayBound, MmooTandem, SourceDelayBound, SourceTandem, TandemPath,
 };
 pub use error::Error;
-pub use memo::{enable_solver_cache, solver_cache_stats, SolverCacheGuard, SolverCacheStats};
+pub use memo::{
+    current_solver_cache, enable_solver_cache, solver_cache_stats, SolverCache, SolverCacheGuard,
+    SolverCacheStats,
+};
 pub use packet::{packetization_penalty, packetize_service, packetized_delay_bound};
 pub use schedulability::{
     adversarial_scenario, delay_feasible, min_feasible_delay, AdversarialScenario,

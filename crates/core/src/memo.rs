@@ -1,4 +1,4 @@
-//! Thread-local memoization of Eq. (38) solver instances.
+//! Memoization of Eq. (38) solver instances, shareable across threads.
 //!
 //! The γ/s grid searches behind [`TandemPath::delay_bound`] and
 //! [`SourceTandem::optimize_over_s`] re-solve identical optimization
@@ -10,16 +10,30 @@
 //! every input of [`TandemPath::delay_bound_at_gamma`] — is solved once
 //! per scenario run.
 //!
-//! The cache is **off by default** and scoped to an RAII guard
-//! ([`enable_solver_cache`]), so one-shot library callers pay nothing
-//! and long-lived processes cannot leak entries. Hit/miss counts go to
-//! the `nc-telemetry` counters `core_solver_cache_hits_total` /
-//! `core_solver_cache_misses_total` and are also readable
-//! programmatically via [`solver_cache_stats`].
+//! The cache is **off by default** and scoped to an RAII guard, so
+//! one-shot library callers pay nothing and long-lived processes cannot
+//! leak entries. Two entry points exist:
+//!
+//! - [`enable_solver_cache`] opens a private cache on the current
+//!   thread (a fresh one at the outermost guard, shared by nested
+//!   guards) — the original PR 3 behaviour.
+//! - [`SolverCache::new`] + [`SolverCache::enable`] install an explicit
+//!   handle that can be cloned to other threads, so a parallel sweep
+//!   shares one memo across all its workers. The store is sharded
+//!   (each shard behind its own mutex), so concurrent probes on
+//!   different keys rarely contend.
+//!
+//! Hit/miss counts go to the `nc-telemetry` counters
+//! `core_solver_cache_hits_total` / `core_solver_cache_misses_total`,
+//! accumulate per thread ([`solver_cache_stats`]), and per cache handle
+//! ([`SolverCache::stats`]).
 //!
 //! Keys are the *bit patterns* of the inputs, so a hit can only occur
 //! for byte-identical parameters and returns a byte-identical result —
-//! enabling the cache never perturbs any output.
+//! enabling or sharing the cache never perturbs any output. Two
+//! threads racing on the same missed key at worst both compute the
+//! (deterministic, bit-identical) value; whichever insert lands last
+//! wins without changing what any caller observed.
 //!
 //! [`TandemPath::delay_bound`]: crate::TandemPath::delay_bound
 //! [`TandemPath::delay_bound_at_gamma`]: crate::TandemPath::delay_bound_at_gamma
@@ -29,26 +43,126 @@ use crate::e2e::E2eDelayBound;
 use nc_telemetry as tel;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Bit-exact cache key: capacity, hops, through EBB `(M, ρ, α)`, cross
 /// EBB `(M, ρ, α)`, scheduler constant Δ, ε, γ.
 pub(crate) type SolverKey = [u64; 11];
 
-#[derive(Default)]
-struct Memo {
-    /// Nesting depth of [`SolverCacheGuard`]s; the cache is consulted
-    /// only while nonzero.
-    depth: u32,
-    map: HashMap<SolverKey, Option<E2eDelayBound>>,
+/// Number of independently locked shards. A small power of two keeps
+/// the modulo cheap while spreading 8–16 workers across distinct locks.
+const SHARDS: usize = 16;
+
+/// Mixes the key words into a shard index. Any fixed mixing works —
+/// the only requirement is determinism and rough uniformity.
+fn shard_of(key: &SolverKey) -> usize {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &w in key {
+        h = (h ^ w).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    (h as usize) % SHARDS
+}
+
+struct CacheInner {
+    shards: Vec<Mutex<HashMap<SolverKey, Option<E2eDelayBound>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A sharded, thread-safe Eq. (38) solver memo. Cloning the handle is
+/// cheap and shares the underlying store; entries are freed when the
+/// last handle drops.
+///
+/// Install it on a thread with [`SolverCache::enable`]; a parallel
+/// sweep clones the handle into each worker so all workers populate
+/// and probe one shared memo.
+#[derive(Clone)]
+pub struct SolverCache {
+    inner: Arc<CacheInner>,
+}
+
+impl std::fmt::Debug for SolverCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SolverCache")
+            .field("entries", &self.len())
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl Default for SolverCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SolverCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+        SolverCache {
+            inner: Arc::new(CacheInner {
+                shards,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Installs this cache on the current thread until the returned
+    /// guard drops. Guards nest and stack: lookups go to the most
+    /// recently enabled cache.
+    pub fn enable(&self) -> SolverCacheGuard {
+        LOCAL.with(|l| l.borrow_mut().stack.push(self.clone()));
+        SolverCacheGuard { _not_send: std::marker::PhantomData }
+    }
+
+    /// Cumulative hit/miss counts across every thread that used this
+    /// handle (or a clone of it).
+    pub fn stats(&self) -> SolverCacheStats {
+        SolverCacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized solver instances.
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.lock().expect("solver cache poisoned").len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: &SolverKey) -> Option<Option<E2eDelayBound>> {
+        self.inner.shards[shard_of(key)].lock().expect("solver cache poisoned").get(key).cloned()
+    }
+
+    fn insert(&self, key: SolverKey, value: Option<E2eDelayBound>) {
+        self.inner.shards[shard_of(&key)].lock().expect("solver cache poisoned").insert(key, value);
+    }
+}
+
+struct LocalState {
+    /// Caches installed on this thread, innermost last.
+    stack: Vec<SolverCache>,
+    /// Per-thread cumulative probe counts, across all guard scopes.
     hits: u64,
     misses: u64,
 }
 
 thread_local! {
-    static MEMO: RefCell<Memo> = RefCell::new(Memo::default());
+    static LOCAL: RefCell<LocalState> =
+        const { RefCell::new(LocalState { stack: Vec::new(), hits: 0, misses: 0 }) };
 }
 
-/// Cumulative hit/miss counts of the calling thread's solver cache.
+/// Cumulative hit/miss counts of a solver cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverCacheStats {
     /// Lookups answered from the cache.
@@ -57,44 +171,58 @@ pub struct SolverCacheStats {
     pub misses: u64,
 }
 
-/// RAII guard holding the solver memo cache open on the current thread;
-/// see [`enable_solver_cache`].
+/// RAII guard holding a solver memo cache open on the current thread;
+/// see [`enable_solver_cache`] and [`SolverCache::enable`].
 #[derive(Debug)]
 pub struct SolverCacheGuard {
     _not_send: std::marker::PhantomData<*const ()>,
 }
 
-/// Enables the solver memo cache on the current thread until the
-/// returned guard is dropped. Guards nest; entries are freed when the
-/// outermost guard drops. Hit/miss statistics accumulate across guard
-/// scopes (see [`solver_cache_stats`]).
+/// Enables a solver memo cache on the current thread until the returned
+/// guard is dropped. The outermost guard opens a fresh private cache;
+/// nested guards share it, so entries survive inner guards and are
+/// freed when the outermost guard drops. Hit/miss statistics accumulate
+/// across guard scopes (see [`solver_cache_stats`]).
+///
+/// To share one cache across threads, use [`SolverCache::enable`]
+/// instead.
 pub fn enable_solver_cache() -> SolverCacheGuard {
-    MEMO.with(|m| m.borrow_mut().depth += 1);
+    LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let cache = match l.stack.last() {
+            Some(top) => top.clone(),
+            None => SolverCache::new(),
+        };
+        l.stack.push(cache);
+    });
     SolverCacheGuard { _not_send: std::marker::PhantomData }
 }
 
 impl Drop for SolverCacheGuard {
     fn drop(&mut self) {
-        MEMO.with(|m| {
-            let mut m = m.borrow_mut();
-            m.depth -= 1;
-            if m.depth == 0 {
-                m.map.clear();
-            }
+        LOCAL.with(|l| {
+            l.borrow_mut().stack.pop();
         });
     }
 }
 
-/// Cumulative solver-cache statistics of the current thread.
+/// Cumulative solver-cache probe statistics of the current thread.
 pub fn solver_cache_stats() -> SolverCacheStats {
-    MEMO.with(|m| {
-        let m = m.borrow();
-        SolverCacheStats { hits: m.hits, misses: m.misses }
+    LOCAL.with(|l| {
+        let l = l.borrow();
+        SolverCacheStats { hits: l.hits, misses: l.misses }
     })
 }
 
+/// The cache currently installed on this thread, if any. A parallel
+/// engine captures this before spawning workers so every worker can
+/// [`SolverCache::enable`] the same store.
+pub fn current_solver_cache() -> Option<SolverCache> {
+    LOCAL.with(|l| l.borrow().stack.last().cloned())
+}
+
 /// Looks up `key`, or computes, records, and returns the value. With no
-/// guard active, simply runs `compute`.
+/// cache installed, simply runs `compute`.
 pub(crate) fn solve_cached(
     key: SolverKey,
     compute: impl FnOnce() -> Option<E2eDelayBound>,
@@ -102,21 +230,23 @@ pub(crate) fn solve_cached(
     enum Probe {
         Disabled,
         Hit(Option<E2eDelayBound>),
-        Miss,
+        Miss(SolverCache),
     }
-    let probe = MEMO.with(|m| {
-        let mut m = m.borrow_mut();
-        if m.depth == 0 {
+    let probe = LOCAL.with(|l| {
+        let mut l = l.borrow_mut();
+        let Some(cache) = l.stack.last().cloned() else {
             return Probe::Disabled;
-        }
-        match m.map.get(&key).cloned() {
+        };
+        match cache.get(&key) {
             Some(v) => {
-                m.hits += 1;
+                l.hits += 1;
+                cache.inner.hits.fetch_add(1, Ordering::Relaxed);
                 Probe::Hit(v)
             }
             None => {
-                m.misses += 1;
-                Probe::Miss
+                l.misses += 1;
+                cache.inner.misses.fetch_add(1, Ordering::Relaxed);
+                Probe::Miss(cache)
             }
         }
     });
@@ -126,17 +256,13 @@ pub(crate) fn solve_cached(
             tel::counter("core_solver_cache_hits_total", 1);
             v
         }
-        Probe::Miss => {
+        Probe::Miss(cache) => {
             tel::counter("core_solver_cache_misses_total", 1);
-            // The borrow is released around `compute`, so nested
-            // delay-bound evaluations (if any) can probe freely.
+            // No lock is held around `compute`, so nested delay-bound
+            // evaluations (if any) can probe freely, and a slow solve
+            // never blocks other shards' readers.
             let v = compute();
-            MEMO.with(|m| {
-                let mut m = m.borrow_mut();
-                if m.depth > 0 {
-                    m.map.insert(key, v.clone());
-                }
-            });
+            cache.insert(key, v.clone());
             v
         }
     }
@@ -212,5 +338,99 @@ mod tests {
         let _ = p.delay_bound(1e-9);
         let after = solver_cache_stats();
         assert!(after.misses > before.misses, "dropped guard must clear entries");
+    }
+
+    #[test]
+    fn explicit_handle_is_observable_and_shared() {
+        let cache = SolverCache::new();
+        let p = path(PathScheduler::Fifo);
+        {
+            let _guard = cache.enable();
+            let _ = p.delay_bound(1e-9);
+        }
+        let after_first = cache.stats();
+        assert!(after_first.misses > 0, "first run must miss into the handle");
+        assert!(!cache.is_empty(), "entries survive guard drop while the handle lives");
+        {
+            // Re-enabling the same handle starts warm.
+            let _guard = cache.enable();
+            let _ = p.delay_bound(1e-9);
+        }
+        let after_second = cache.stats();
+        assert_eq!(
+            after_second.misses, after_first.misses,
+            "second run must not add misses: {after_second:?}"
+        );
+        assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn current_cache_reflects_innermost_guard() {
+        assert!(current_solver_cache().is_none());
+        let outer = SolverCache::new();
+        let _og = outer.enable();
+        let got = current_solver_cache().expect("enabled cache must be current");
+        assert!(Arc::ptr_eq(&got.inner, &outer.inner));
+        {
+            let inner = SolverCache::new();
+            let _ig = inner.enable();
+            let got = current_solver_cache().expect("inner cache must shadow");
+            assert!(Arc::ptr_eq(&got.inner, &inner.inner));
+        }
+        let got = current_solver_cache().expect("outer cache must be restored");
+        assert!(Arc::ptr_eq(&got.inner, &outer.inner));
+    }
+
+    /// Hammer the shared cache from many threads on overlapping keys:
+    /// counters must be consistent and every value bit-exact to serial.
+    #[test]
+    fn shared_cache_is_consistent_under_concurrency() {
+        let schedulers = [PathScheduler::Fifo, PathScheduler::Bmux, PathScheduler::Delta(2.0)];
+        let epsilons = [1e-6, 1e-9];
+        // Serial reference, no cache.
+        let mut reference = Vec::new();
+        for sched in schedulers {
+            for eps in epsilons {
+                reference.push(path(sched).delay_bound(eps));
+            }
+        }
+        let cache = SolverCache::new();
+        let results: Vec<Vec<Option<E2eDelayBound>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = cache.clone();
+                    scope.spawn(move || {
+                        let _guard = cache.enable();
+                        let mut out = Vec::new();
+                        for _round in 0..3 {
+                            out.clear();
+                            for sched in schedulers {
+                                for eps in epsilons {
+                                    out.push(path(sched).delay_bound(eps));
+                                }
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker must not panic")).collect()
+        });
+        for (w, got) in results.iter().enumerate() {
+            for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(g, r, "worker {w} instance {i} diverged from serial");
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "overlapping keys must produce hits: {stats:?}");
+        assert!(stats.misses > 0, "cold keys must produce misses: {stats:?}");
+        // Every probe is either a hit or a miss; the handle's counters
+        // must account for exactly the probes made against it.
+        let per_thread_total: u64 = stats.hits + stats.misses;
+        assert!(
+            per_thread_total >= cache.len() as u64,
+            "at least one probe per distinct entry: {stats:?} vs {} entries",
+            cache.len()
+        );
     }
 }

@@ -58,6 +58,16 @@ pub enum CurveError {
     NotMonotone,
     /// A parameter (rate, burst, latency, …) is negative or NaN.
     BadParameter(&'static str),
+    /// A grid operation needs the second operand to cover the first
+    /// operand's full horizon (`other.len() ≥ self.len()`): a shorter
+    /// subtrahend would silently drop supremum candidates and yield an
+    /// unsound (too small) bound.
+    ShortHorizon {
+        /// Samples required of the second operand.
+        needed: usize,
+        /// Samples it actually has.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CurveError {
@@ -73,6 +83,13 @@ impl fmt::Display for CurveError {
             CurveError::NotMonotone => write!(f, "resulting curve would not be non-decreasing"),
             CurveError::BadParameter(p) => {
                 write!(f, "parameter `{p}` must be finite and non-negative")
+            }
+            CurveError::ShortHorizon { needed, got } => {
+                write!(
+                    f,
+                    "second operand covers only {got} of the {needed} samples \
+                     needed; truncating the horizon would produce an unsound bound"
+                )
             }
         }
     }

@@ -91,7 +91,8 @@ impl Curve {
 
     /// Min-plus convolution `(f ∗ g)(t) = inf_{0≤s≤t} f(s) + g(t−s)`.
     ///
-    /// Exact in the cases that arise in the network calculus:
+    /// Exact for every pair of piecewise-linear curves. Cheap shapes are
+    /// dispatched to specialized algorithms:
     ///
     /// * either operand is a burst-delay function `δ_d` (pure shift),
     /// * both operands are convex (slope-sort / "conveyor" algorithm),
@@ -100,11 +101,10 @@ impl Curve {
     ///   a plain rate (rate-latency vs. concave reduces to the concave
     ///   case after peeling the latency).
     ///
-    /// For the remaining mixed shapes the result is computed by dense
-    /// sampling (see [`Curve::convolve_sampled`]) at an automatically
-    /// chosen resolution; the sampled result is a conservative *upper*
-    /// bound on the true convolution that converges as the grid is
-    /// refined.
+    /// Remaining mixed shapes go through the exact segment-merge
+    /// algorithm ([`Curve::convolve_segment_merge`]); the dense-sampling
+    /// approximation ([`Curve::convolve_sampled`]) stays available for
+    /// callers that want grid semantics.
     pub fn convolve(&self, other: &Curve) -> Curve {
         // Recursive cases (latency peeling) count as separate ops; the
         // timer histogram then records nested durations, which is fine
@@ -147,10 +147,50 @@ impl Curve {
                 return self.convolve(&rest).shift_right(lat);
             }
         }
-        // General fallback: dense sampling.
-        let horizon = sampling_horizon(self, other);
-        let n = 2048usize;
-        self.convolve_sampled(other, horizon / n as f64, n)
+        // General case: exact segment-merge over maximal convex runs.
+        self.convolve_segment_merge(other)
+    }
+
+    /// Exact min-plus convolution of arbitrary piecewise-linear curves
+    /// by maximal-convex-run decomposition.
+    ///
+    /// Each operand is written as a pointwise minimum of "constant plus
+    /// convex" components, one per maximal convex run of its segments
+    /// (`f = min_i (a_i + w_i)` with `w_i` convex). Convolution
+    /// distributes over `min`, and for such components
+    /// `(a + w) ∗ (b + z) = min(a + w, b + z, a + b + w ∗ z)`, so
+    ///
+    /// `f ∗ g = min(f, g, min_{i,j} (a_i + b_j + w_i ∗ z_j))`
+    ///
+    /// with every inner convolution convex⊗convex — solved exactly by
+    /// the linear slope-sort merge. This avoids both the all-pairs
+    /// breakpoint product of a naive exact algorithm and the
+    /// approximation error of dense sampling: the number of runs is
+    /// bounded by the number of slope decreases / upward jumps, which
+    /// for the calculus' typical shapes (concave envelopes, convex
+    /// service curves, and their sums) is far smaller than the
+    /// breakpoint count.
+    ///
+    /// [`Curve::convolve`] dispatches here for shapes without a cheaper
+    /// special case; calling it directly skips the shape probes.
+    pub fn convolve_segment_merge(&self, other: &Curve) -> Curve {
+        tel::counter("minplus_segment_merge_convolution_total", 1);
+        let _timer = tel::timer("minplus_segment_merge_convolution_seconds");
+        let fu = convex_components(self);
+        let gv = convex_components(other);
+        // The endpoint candidates s ∈ {0, t} contribute min(f, g).
+        let mut acc = self.min(other);
+        for (a, w) in &fu {
+            for (b, z) in &gv {
+                let mut term = convolve_convex(w, z);
+                let c = a + b;
+                if c > 0.0 {
+                    term = term.add_constant(c);
+                }
+                acc = acc.min(&term);
+            }
+        }
+        acc
     }
 
     /// Min-plus convolution by dense sampling on a uniform grid with step
@@ -332,15 +372,66 @@ fn convolve_convex(f: &Curve, g: &Curve) -> Curve {
     Curve::from_raw_unchecked(segs)
 }
 
-/// A sampling horizon covering all interesting structure of both curves.
-fn sampling_horizon(f: &Curve, g: &Curve) -> f64 {
-    let mut h = 1.0_f64;
-    for x in f.xs().chain(g.xs()) {
-        if x.is_finite() {
-            h = h.max(2.0 * x);
+/// Decomposes a curve into "constant plus convex" components, one per
+/// maximal convex run: `f = min_i (a_i + w_i)` pointwise on `t > 0`,
+/// where `a_i = f(x_i⁺)` at the run's start and `w_i` is a valid convex
+/// [`Curve`] — a flat prefix up to the run start, the run's own pieces
+/// shifted down by `a_i`, and a terminal jump to `+∞` where the run
+/// ends (the last run instead keeps the curve's own tail).
+///
+/// Runs break exactly where convexity does: at a slope decrease or an
+/// upward value jump (using the same tolerances as
+/// [`Curve::is_convex`]). `Curve::infinite()` yields no components —
+/// its only content is the `+∞` tail, which `min(f, g, …)` already
+/// accounts for.
+fn convex_components(f: &Curve) -> Vec<(f64, Curve)> {
+    let segs = f.segments();
+    // normalize() guarantees at most one infinite segment, at the end.
+    let fin = segs.iter().position(|s| s.y.is_infinite()).unwrap_or(segs.len());
+    if fin == 0 {
+        return Vec::new();
+    }
+    let finite = &segs[..fin];
+    // Half-open index ranges [start, end) of the maximal convex runs.
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for j in 1..finite.len() {
+        let prev = &finite[j - 1];
+        let end_v = prev.value_at(finite[j].x);
+        let jump_up = finite[j].y > end_v + EPS * (1.0 + end_v.abs());
+        let slope_drop = finite[j].slope + EPS < prev.slope;
+        if jump_up || slope_drop {
+            runs.push((start, j));
+            start = j;
         }
     }
-    h.max(8.0)
+    runs.push((start, finite.len()));
+    let mut out = Vec::with_capacity(runs.len());
+    for (ri, &(a, b)) in runs.iter().enumerate() {
+        let x_start = finite[a].x;
+        let base = finite[a].y;
+        let mut w: Vec<Segment> = Vec::with_capacity(b - a + 2);
+        if x_start > 0.0 {
+            w.push(Segment::new(0.0, 0.0, 0.0));
+        }
+        for s in &finite[a..b] {
+            w.push(Segment::new(s.x, s.y - base, s.slope));
+        }
+        // Close the run: an interior run ends where the next begins; the
+        // last run inherits the curve's terminal jump, if any.
+        let close = if ri + 1 < runs.len() {
+            Some(finite[b].x)
+        } else if fin < segs.len() {
+            Some(segs[fin].x)
+        } else {
+            None
+        };
+        if let Some(xe) = close {
+            w.push(Segment::new(xe, f64::INFINITY, 0.0));
+        }
+        out.push((base, Curve::from_raw_unchecked(w)));
+    }
+    out
 }
 
 /// Non-decreasing lower closure `f̃(t) = inf_{s ≥ t} f(s)` of a raw
@@ -716,5 +807,95 @@ mod tests {
         let z = Curve::zero();
         let c = f.convolve(&z);
         assert_eq!(c.eval(100.0), 0.0);
+    }
+
+    /// Brute-force upper bound on `(f ∗ g)(t)` over a dense `s` grid.
+    fn brute_convolve_at(f: &Curve, g: &Curve, t: f64, steps: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for k in 0..=steps {
+            let s = t * k as f64 / steps as f64;
+            let v = f.eval(s) + g.eval(t - s);
+            if v < best {
+                best = v;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn segment_merge_matches_specialized_paths() {
+        // Cases where convolve() has an exact specialized algorithm: the
+        // segment-merge result must agree at every probe point.
+        let cases = [
+            (Curve::token_bucket(10.0, 1.0), Curve::token_bucket(1.0, 5.0)), // concave pair
+            (Curve::rate_latency(4.0, 1.0), Curve::rate_latency(2.0, 3.0)),  // convex pair
+            (Curve::token_bucket(1.0, 5.0), Curve::rate_latency(4.0, 2.0)),  // peeled
+            (Curve::token_bucket(2.0, 1.0), Curve::delta(3.0)),              // shift
+        ];
+        for (f, g) in cases {
+            let spec = f.convolve(&g);
+            let merge = f.convolve_segment_merge(&g);
+            for i in 0..=80 {
+                let t = i as f64 * 0.125;
+                let a = spec.eval(t);
+                let b = merge.eval(t);
+                assert!(
+                    nearly_equal(a, b) || (a - b).abs() < 1e-7,
+                    "mismatch at t={t}: specialized {a} vs segment-merge {b} ({f} ∗ {g})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_merge_exact_on_mixed_shapes() {
+        // Neither concave nor convex: a burst followed by convex growth…
+        let f = Curve::from_segments(vec![
+            Segment::new(0.0, 2.0, 0.0),
+            Segment::new(1.0, 2.0, 1.0),
+            Segment::new(2.0, 3.0, 4.0),
+        ])
+        .unwrap();
+        // …against an S-shape (convex then concave).
+        let g = Curve::from_points(&[(0.0, 0.0), (1.0, 0.5), (2.0, 3.0), (3.0, 4.0)], 0.5).unwrap();
+        assert!(!f.is_convex() && !f.is_concave());
+        assert!(!g.is_convex() && !g.is_concave());
+        let got = f.convolve(&g);
+        for i in 0..=60 {
+            let t = i as f64 * 0.1;
+            let brute = brute_convolve_at(&f, &g, t, 4000);
+            let v = got.eval(t);
+            // Exact result: never above the brute-force upper bound, and
+            // within its grid error below it.
+            assert!(v <= brute + 1e-7, "above brute force at t={t}: {v} vs {brute}");
+            assert!(brute - v <= 1e-2, "far below brute force at t={t}: {v} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn segment_merge_handles_infinite_tails() {
+        // Mixed shape with a terminal jump to +∞.
+        let f = Curve::from_segments(vec![
+            Segment::new(0.0, 1.0, 1.0),
+            Segment::new(2.0, 3.0, 0.5),
+            Segment::new(4.0, f64::INFINITY, 0.0),
+        ])
+        .unwrap();
+        let g = Curve::from_points(&[(0.0, 0.0), (1.0, 2.0), (2.0, 2.5)], 0.25).unwrap();
+        let got = f.convolve_segment_merge(&g);
+        for i in 0..=50 {
+            let t = i as f64 * 0.2;
+            let brute = brute_convolve_at(&f, &g, t, 4000);
+            let v = got.eval(t);
+            if brute.is_infinite() {
+                assert!(v.is_infinite() || v > 1e12, "expected ∞ at t={t}, got {v}");
+            } else {
+                assert!(v <= brute + 1e-7, "above brute force at t={t}: {v} vs {brute}");
+                assert!(brute - v <= 2e-2, "far below brute force at t={t}: {v} vs {brute}");
+            }
+        }
+        // Convolving with Curve::infinite() (no finite component) is min.
+        let inf = Curve::infinite();
+        assert_eq!(g.convolve_segment_merge(&inf), g);
     }
 }

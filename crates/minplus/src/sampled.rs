@@ -1,6 +1,6 @@
 //! Dense uniform-grid curve representation.
 
-use crate::curve::{Curve, Segment};
+use crate::curve::{Curve, CurveError, Segment};
 use nc_telemetry as tel;
 
 /// A curve sampled on the uniform grid `0, dt, 2·dt, …, (n−1)·dt`.
@@ -89,10 +89,30 @@ impl SampledCurve {
     ///
     /// The result has the length of the shorter operand. Grids must match.
     ///
+    /// Allocates the result; for hot loops that reuse a buffer, see
+    /// [`SampledCurve::convolve_into`] (bitwise-identical output).
+    ///
     /// # Panics
     ///
     /// Panics if the grid steps differ.
     pub fn convolve(&self, other: &SampledCurve) -> SampledCurve {
+        let mut out = Vec::new();
+        self.convolve_into(other, &mut out);
+        SampledCurve { dt: self.dt, values: out }
+    }
+
+    /// [`SampledCurve::convolve`] into a caller-provided buffer.
+    ///
+    /// `out` is cleared and filled with the `min(self.len(),
+    /// other.len())` result samples; its existing capacity is reused,
+    /// so a loop convolving same-sized curves performs no per-call
+    /// allocation. The samples written are bitwise-identical to what
+    /// [`SampledCurve::convolve`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid steps differ.
+    pub fn convolve_into(&self, other: &SampledCurve, out: &mut Vec<f64>) {
         assert!(
             (self.dt - other.dt).abs() < 1e-12,
             "convolve: grid steps must match ({} vs {})",
@@ -102,7 +122,8 @@ impl SampledCurve {
         tel::counter("minplus_grid_convolution_total", 1);
         let _timer = tel::timer("minplus_grid_convolution_seconds");
         let n = self.values.len().min(other.values.len());
-        let mut out = vec![f64::INFINITY; n];
+        out.clear();
+        out.resize(n, f64::INFINITY);
         for (i, &a) in self.values.iter().enumerate().take(n) {
             if a.is_infinite() {
                 continue;
@@ -114,38 +135,73 @@ impl SampledCurve {
                 }
             }
         }
-        SampledCurve { dt: self.dt, values: out }
     }
 
     /// Grid min-plus deconvolution `h[k] = max_{j : k+j < n} f[k+j] − g[j]`,
     /// clamped at zero.
     ///
+    /// Allocates the result; for hot loops that reuse a buffer, see
+    /// [`SampledCurve::deconvolve_into`] (bitwise-identical output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::ShortHorizon`] if `other` has fewer samples
+    /// than `self`: the supremum at small `k` would then silently lose
+    /// candidates `j ≥ other.len()`, making the computed envelope
+    /// misleadingly small (an unsound bound).
+    ///
     /// # Panics
     ///
     /// Panics if the grid steps differ.
-    pub fn deconvolve(&self, other: &SampledCurve) -> SampledCurve {
+    pub fn deconvolve(&self, other: &SampledCurve) -> Result<SampledCurve, CurveError> {
+        let mut out = Vec::new();
+        self.deconvolve_into(other, &mut out)?;
+        Ok(SampledCurve { dt: self.dt, values: out })
+    }
+
+    /// [`SampledCurve::deconvolve`] into a caller-provided buffer.
+    ///
+    /// `out` is cleared and filled with the `self.len()` result samples;
+    /// its existing capacity is reused. The samples written are
+    /// bitwise-identical to what [`SampledCurve::deconvolve`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::ShortHorizon`] if `other` has fewer samples
+    /// than `self` (see [`SampledCurve::deconvolve`]); `out` is left
+    /// cleared in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid steps differ.
+    pub fn deconvolve_into(
+        &self,
+        other: &SampledCurve,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CurveError> {
         assert!(
             (self.dt - other.dt).abs() < 1e-12,
             "deconvolve: grid steps must match ({} vs {})",
             self.dt,
             other.dt
         );
+        out.clear();
+        let n = self.values.len();
+        if other.values.len() < n {
+            return Err(CurveError::ShortHorizon { needed: n, got: other.values.len() });
+        }
         tel::counter("minplus_grid_deconvolution_total", 1);
         let _timer = tel::timer("minplus_grid_deconvolution_seconds");
-        let n = self.values.len();
-        let mut out = vec![0.0_f64; n];
+        out.resize(n, 0.0);
         for (k, slot) in out.iter_mut().enumerate() {
             let mut best: f64 = 0.0;
-            for j in 0..n - k {
-                if j < other.values.len() {
-                    let g = other.values[j];
-                    if g.is_infinite() {
-                        continue;
-                    }
-                    let v = self.values[k + j] - g;
-                    if v > best {
-                        best = v;
-                    }
+            for (j, &g) in other.values.iter().enumerate().take(n - k) {
+                if g.is_infinite() {
+                    continue;
+                }
+                let v = self.values[k + j] - g;
+                if v > best {
+                    best = v;
                 }
             }
             *slot = best;
@@ -153,11 +209,11 @@ impl SampledCurve {
         // Deconvolution of non-decreasing curves need not be monotone on a
         // truncated horizon; enforce the non-decreasing closure.
         let mut running = 0.0_f64;
-        for v in &mut out {
+        for v in out.iter_mut() {
             running = running.max(*v);
             *v = running;
         }
-        SampledCurve { dt: self.dt, values: out }
+        Ok(())
     }
 
     /// Pointwise minimum of two sampled curves on the same grid.
@@ -269,7 +325,7 @@ mod tests {
         // γ_{1,5} ⊘ β_{4,2} = γ_{1,7}: check on the grid.
         let f = SampledCurve::from_curve(&Curve::token_bucket(1.0, 5.0), 0.5, 256);
         let g = SampledCurve::from_curve(&Curve::rate_latency(4.0, 2.0), 0.5, 256);
-        let out = f.deconvolve(&g);
+        let out = f.deconvolve(&g).unwrap();
         // Interior points (far from the horizon) must match b + r(t+T) = 7 + t.
         for i in 1..64 {
             let t = i as f64 * 0.5;
@@ -279,6 +335,39 @@ mod tests {
                 out.eval(i)
             );
         }
+    }
+
+    #[test]
+    fn deconvolve_rejects_short_horizon() {
+        // Regression: a shorter subtrahend used to be silently truncated,
+        // losing sup candidates and under-reporting the envelope.
+        let f = SampledCurve::from_curve(&Curve::token_bucket(1.0, 5.0), 0.5, 256);
+        let g = SampledCurve::from_curve(&Curve::rate_latency(4.0, 2.0), 0.5, 64);
+        assert_eq!(
+            f.deconvolve(&g).unwrap_err(),
+            CurveError::ShortHorizon { needed: 256, got: 64 }
+        );
+        // A longer subtrahend is fine and covers every candidate.
+        let g = SampledCurve::from_curve(&Curve::rate_latency(4.0, 2.0), 0.5, 300);
+        assert!(f.deconvolve(&g).is_ok());
+    }
+
+    #[test]
+    fn into_variants_are_bitwise_identical_and_reuse_buffers() {
+        let f = SampledCurve::from_curve(&Curve::token_bucket(1.0, 5.0), 0.25, 128);
+        let g = SampledCurve::from_curve(&Curve::rate_latency(4.0, 2.0), 0.25, 128);
+        let mut buf = Vec::with_capacity(128);
+        let cap = buf.capacity();
+        f.convolve_into(&g, &mut buf);
+        assert_eq!(buf.as_slice(), f.convolve(&g).values(), "convolve_into must match bitwise");
+        assert_eq!(buf.capacity(), cap, "convolve_into must reuse the buffer");
+        f.deconvolve_into(&g, &mut buf).unwrap();
+        assert_eq!(
+            buf.as_slice(),
+            f.deconvolve(&g).unwrap().values(),
+            "deconvolve_into must match bitwise"
+        );
+        assert_eq!(buf.capacity(), cap, "deconvolve_into must reuse the buffer");
     }
 
     #[test]

@@ -219,4 +219,74 @@ proptest! {
         let want = a.long_run_rate().min(b.long_run_rate());
         assert_close(c.long_run_rate(), want, "long-run rate of convolution");
     }
+
+    #[test]
+    fn segment_merge_matches_convolve(a in any_curve(), b in any_curve()) {
+        // `convolve` dispatches to shape-specialized kernels where it
+        // can; the general segment-merge kernel must agree with every
+        // one of them on the shapes they cover.
+        let fast = a.convolve(&b);
+        let merge = a.convolve_segment_merge(&b);
+        for t in PROBE {
+            assert_close(
+                fast.eval(t),
+                merge.eval(t),
+                &format!("segment merge diverges from convolve at t={t}"),
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_is_monotone(a in any_curve(), b in any_curve(), c in 0.0f64..10.0) {
+        // f ≤ f' pointwise ⇒ f ∗ g ≤ f' ∗ g, and lifting f by a
+        // constant can lift the convolution by at most that constant.
+        let lifted = a.add_constant(c);
+        let low = a.convolve(&b);
+        let high = lifted.convolve(&b);
+        for t in PROBE {
+            let (lo, hi) = (low.eval(t), high.eval(t));
+            if lo.is_infinite() || hi.is_infinite() {
+                prop_assert_eq!(lo.is_infinite(), hi.is_infinite(), "jump moved at t={}", t);
+                continue;
+            }
+            let tol = 1e-6 * (1.0 + lo.abs());
+            prop_assert!(hi >= lo - tol, "monotonicity broken at t={}: {} < {}", t, hi, lo);
+            prop_assert!(hi <= lo + c + tol, "lift exceeded constant at t={}: {} > {} + {}", t, hi, lo, c);
+        }
+    }
+
+    #[test]
+    fn grid_convolve_into_is_bitwise_identical(
+        a in any_curve(),
+        b in any_curve(),
+        n in 8usize..64,
+    ) {
+        let ga = SampledCurve::from_curve(&a, 0.5, n);
+        let gb = SampledCurve::from_curve(&b, 0.5, n);
+        let fresh = ga.convolve(&gb);
+        // A dirty, differently-sized buffer must not influence the result.
+        let mut out = vec![f64::NAN; n + 13];
+        ga.convolve_into(&gb, &mut out);
+        prop_assert_eq!(out.len(), fresh.len());
+        for (i, (x, y)) in out.iter().zip(fresh.values()).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "convolve_into differs at i={}", i);
+        }
+    }
+
+    #[test]
+    fn grid_deconvolve_into_is_bitwise_identical(
+        a in any_curve(),
+        b in any_curve(),
+        n in 8usize..64,
+    ) {
+        let ga = SampledCurve::from_curve(&a, 0.5, n);
+        let gb = SampledCurve::from_curve(&b, 0.5, n);
+        let fresh = ga.deconvolve(&gb).expect("full horizon");
+        let mut out = vec![f64::NAN; 3];
+        ga.deconvolve_into(&gb, &mut out).expect("full horizon");
+        prop_assert_eq!(out.len(), fresh.len());
+        for (i, (x, y)) in out.iter().zip(fresh.values()).enumerate() {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "deconvolve_into differs at i={}", i);
+        }
+    }
 }

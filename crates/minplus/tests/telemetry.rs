@@ -16,7 +16,7 @@ fn ops_record_counts_and_timings() {
     let sa = SampledCurve::from_curve(&tb, 0.5, 32);
     let sb = SampledCurve::from_curve(&rl, 0.5, 32);
     let _ = sa.convolve(&sb);
-    let _ = sa.deconvolve(&sb);
+    let _ = sa.deconvolve(&sb).unwrap();
 
     let snap = tel::global_snapshot();
     // Latency peeling may recurse, so convolution counts once per call.

@@ -16,9 +16,10 @@ pub struct RunSummary {
     /// Merged delay statistics, for experiments that simulate
     /// (`simulate`; the figure overlays report inline instead).
     pub delay_stats: Option<DelayStats>,
-    /// Solver memo-cache activity during this run (hits > 0 whenever
-    /// the experiment revisits an Eq. (38) instance, e.g. any sweep
-    /// with both FIFO and EDF columns).
+    /// Solver memo-cache activity during this run, summed across the
+    /// main thread and every sweep worker (hits > 0 whenever the
+    /// experiment revisits an Eq. (38) instance, e.g. any sweep with
+    /// both FIFO and EDF columns).
     pub cache: SolverCacheStats,
 }
 
@@ -78,8 +79,12 @@ impl Engine {
     /// and an infeasible analysis onto distinct exit codes.
     pub fn run(self) -> Result<RunSummary, Error> {
         let artifacts = RunArtifacts::begin(&self.scenario.name, &self.opts);
-        let cache_before = nc_core::solver_cache_stats();
-        let guard = nc_core::enable_solver_cache();
+        // An explicit handle rather than `enable_solver_cache()`: the
+        // parallel sweep engine picks the current cache up and shares
+        // it across its workers, and the handle's stats cover every
+        // worker's probes — a thread-local delta would not.
+        let cache = nc_core::SolverCache::new();
+        let guard = cache.enable();
         if let Some(title) = &self.scenario.title {
             println!("# {title}");
         }
@@ -110,7 +115,7 @@ impl Engine {
                 None
             }
             Experiment::CrossSweep(p) => {
-                experiments::cli::cross_sweep(p);
+                experiments::cli::cross_sweep(p, &self.opts);
                 None
             }
             Experiment::Simulate(p) => Some(experiments::cli::simulate(p, &self.opts)?),
@@ -120,16 +125,9 @@ impl Engine {
             }
         };
         drop(guard);
-        let cache_after = nc_core::solver_cache_stats();
         artifacts
             .try_finish()
             .map_err(|e| Error::Runtime(format!("cannot write telemetry artifacts: {e}")))?;
-        Ok(RunSummary {
-            delay_stats,
-            cache: SolverCacheStats {
-                hits: cache_after.hits - cache_before.hits,
-                misses: cache_after.misses - cache_before.misses,
-            },
-        })
+        Ok(RunSummary { delay_stats, cache: cache.stats() })
     }
 }

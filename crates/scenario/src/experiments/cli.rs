@@ -44,15 +44,15 @@ pub(crate) fn bound(p: &Bound) -> Result<(), Error> {
     Ok(())
 }
 
-pub(crate) fn cross_sweep(p: &CrossSweep) {
+pub(crate) fn cross_sweep(p: &CrossSweep, opts: &RunOpts) {
     println!(
         "# delay bounds [ms] vs cross flows (H = {}, N0 = {}, eps = {:.0e})",
         p.hops, p.through, p.epsilon
     );
     println!("{:>6} {:>7} {:>10} {:>10} {:>10}", "Nc", "U[%]", "BMUX", "FIFO", "SP");
     let steps = 10usize;
-    for i in 1..=steps {
-        let nc = p.cross_max * i / steps;
+    let rows = crate::SweepEngine::new(opts.threads).run(steps, |row| {
+        let nc = p.cross_max * (row + 1) / steps;
         let mk = |s: PathScheduler| {
             MmooTandem {
                 source: Mmoo::paper_source(),
@@ -66,14 +66,11 @@ pub(crate) fn cross_sweep(p: &CrossSweep) {
             .map(|b| format!("{:10.2}", b.bound.delay))
             .unwrap_or_else(|| format!("{:>10}", "-"))
         };
+        (nc, mk(PathScheduler::Bmux), mk(PathScheduler::Fifo), mk(PathScheduler::ThroughPriority))
+    });
+    for (nc, bmux, fifo, sp) in rows {
         let u = (p.through + nc) as f64 * Mmoo::paper_source().mean_rate() / p.capacity;
-        println!(
-            "{nc:>6} {:>7.1} {} {} {}",
-            u * 100.0,
-            mk(PathScheduler::Bmux),
-            mk(PathScheduler::Fifo),
-            mk(PathScheduler::ThroughPriority)
-        );
+        println!("{nc:>6} {:>7.1} {bmux} {fifo} {sp}", u * 100.0);
     }
 }
 

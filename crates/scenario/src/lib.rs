@@ -38,12 +38,14 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod artifacts;
+pub mod bench_harness;
 mod engine;
 mod error;
 mod experiments;
 mod model;
 mod opts;
 mod sched;
+mod sweep;
 
 pub use artifacts::{overlay_report, sim_overlay, RunArtifacts, OVERLAY_EPS};
 pub use engine::{Engine, RunSummary};
@@ -54,6 +56,7 @@ pub use model::{
 };
 pub use opts::{RunOpts, USAGE};
 pub use sched::{is_fair_queueing, parse_sched};
+pub use sweep::SweepEngine;
 
 use nc_core::{MmooTandem, PathScheduler};
 use nc_traffic::Mmoo;
